@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table and figure has a bench target here (see DESIGN.md's
+experiment index).  Benchmarks run scaled-down slices so the whole harness
+finishes in minutes; the full-size regeneration is
+``python -m repro.experiments.reproduce`` (its output is EXPERIMENTS.md).
+"""
+
+import pytest
+
+#: Scaled-down slice used by benchmark targets.
+BENCH_MEASURE = 8000
+BENCH_WARMUP = 4000
+
+#: Workload subset exercising each behavioural family: low-accuracy
+#: (crafty), stride-dominated (wupwise), context-dominated (gcc),
+#: memory-bound (milc) and the small-coverage/large-gain case (h264ref).
+BENCH_WORKLOADS = ("crafty", "wupwise", "gcc", "milc", "h264ref")
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    return {"n_uops": BENCH_MEASURE, "warmup": BENCH_WARMUP}
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    Simulation benches are seconds-long; multiple rounds would make the
+    harness take hours for no statistical benefit.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

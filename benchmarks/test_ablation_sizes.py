@@ -1,0 +1,31 @@
+"""Ablation bench: predictor table sizes (the Section 3.2 large-table
+argument: VTAGE/LVP tolerate large tables because lookups can span cycles)."""
+
+from conftest import run_once
+
+from repro.analysis.metrics import evaluate_predictor
+from repro.core.confidence import ConfidencePolicy
+from repro.predictors.lvp import LastValuePredictor
+from repro.workloads.catalog import build_trace
+
+
+def run_size_sweep():
+    trace = build_trace("vortex", 30000)
+    out = {}
+    for entries in (256, 1024, 4096, 8192):
+        predictor = LastValuePredictor(entries=entries,
+                                       confidence=ConfidencePolicy())
+        stats = evaluate_predictor(trace, predictor, warmup=10000,
+                                   training_delay=30)
+        out[entries] = stats.useful_coverage
+    return out
+
+
+def test_ablation_table_sizes(benchmark):
+    """Bigger tables help (fewer evictions) with diminishing returns."""
+    sweep = run_once(benchmark, run_size_sweep)
+    assert sweep[8192] >= sweep[256] - 0.01
+    # Diminishing returns: the 4K -> 8K step is smaller than 256 -> 1K.
+    small_step = sweep[1024] - sweep[256]
+    large_step = sweep[8192] - sweep[4096]
+    assert large_step <= small_step + 0.05

@@ -1,0 +1,48 @@
+"""Bench target for the Section 3.1 analytic recovery-cost model."""
+
+from conftest import run_once
+
+from repro.analysis.cost_model import (
+    PAPER_SCENARIOS,
+    SELECTIVE_REISSUE,
+    SQUASH_AT_COMMIT,
+    recovery_benefit_per_kilo_instruction,
+)
+
+
+def sweep():
+    """Benefit surface over (coverage, accuracy) for all three scenarios."""
+    grid = {}
+    for scenario in PAPER_SCENARIOS:
+        for coverage in (0.1, 0.2, 0.3, 0.4, 0.5):
+            for accuracy in (0.90, 0.95, 0.99, 0.9975, 0.9995):
+                grid[(scenario.name, coverage, accuracy)] = (
+                    recovery_benefit_per_kilo_instruction(scenario, coverage, accuracy)
+                )
+    return grid
+
+
+def test_sec31_recovery_model(benchmark):
+    """Reproduce the Section 3.1.1/3.1.2 example and its consequences."""
+    grid = run_once(benchmark, sweep)
+
+    # Paper example 1: coverage 40%, accuracy 95%.
+    assert round(grid[("selective reissue", 0.4, 0.95)]) == 64
+    assert round(grid[("squash at execute", 0.4, 0.95)]) == -86
+    assert round(grid[("squash at commit", 0.4, 0.95)]) == -286
+
+    # Paper example 2: coverage 30%, accuracy 99.75%.
+    assert grid[("squash at commit", 0.3, 0.9975)] > 70
+
+    # Structural claims: at 95% accuracy the mechanisms diverge wildly; at
+    # 99.95% they are within a few cycles of each other.
+    low_acc_spread = (
+        grid[("selective reissue", 0.3, 0.95)]
+        - grid[("squash at commit", 0.3, 0.95)]
+    )
+    high_acc_spread = (
+        grid[("selective reissue", 0.3, 0.9995)]
+        - grid[("squash at commit", 0.3, 0.9995)]
+    )
+    assert low_acc_spread > 100
+    assert high_acc_spread < 5

@@ -1,0 +1,31 @@
+"""Bench targets for Tables 1-3: regenerate and validate each table."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_table1_layout(benchmark):
+    """Table 1: recompute predictor storage budgets and compare to paper."""
+    rows = run_once(benchmark, tables.table1_rows)
+    # Every storage figure must match the paper within 1 %.
+    for row in rows:
+        assert row.relative_error < 0.01, (row.predictor, row.computed_kb)
+    text = tables.table1()
+    assert "120.8" in text and "251.9" in text and "64.1" in text
+
+
+def test_table2_config(benchmark):
+    """Table 2: render the simulated core configuration."""
+    text = run_once(benchmark, tables.table2)
+    for fragment in ("256-entry ROB", "128-entry IQ", "48/48 LQ/SQ",
+                     "8 ALU(1c)", "4 MulDiv(3c/25c*)", "DDR3-1600"):
+        assert fragment in text, fragment
+
+
+def test_table3_workloads(benchmark):
+    """Table 3: render the 19-benchmark catalog."""
+    text = run_once(benchmark, tables.table3)
+    assert "INT: 12" in text and "FP: 7" in text
+    for name in ("164.gzip", "470.lbm", "433.milc"):
+        assert name in text

@@ -1,0 +1,50 @@
+"""Microbenchmarks: raw component throughput (useful for regressions)."""
+
+from repro.analysis.metrics import evaluate_predictor
+from repro.core.confidence import ConfidencePolicy
+from repro.core.vtage import VTAGEPredictor
+from repro.pipeline.core import simulate
+from repro.predictors.stride import TwoDeltaStridePredictor
+from repro.workloads.catalog import build_trace
+
+
+def test_trace_generation_throughput(benchmark):
+    """Kernel VM µop generation rate."""
+    trace = benchmark(build_trace, "gzip", 20000, 999, False)
+    assert len(trace) >= 19000
+
+
+def test_vtage_lookup_train_throughput(benchmark):
+    """VTAGE predict+train rate over a real trace."""
+    trace = build_trace("gcc", 12000)
+    predictor = VTAGEPredictor(base_entries=8192, tagged_entries=1024,
+                               confidence=ConfidencePolicy())
+
+    def run():
+        return evaluate_predictor(trace, predictor, warmup=0)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert stats.eligible > 0
+
+
+def test_stride_lookup_train_throughput(benchmark):
+    trace = build_trace("wupwise", 12000)
+    predictor = TwoDeltaStridePredictor(entries=8192,
+                                        confidence=ConfidencePolicy())
+
+    def run():
+        return evaluate_predictor(trace, predictor, warmup=0)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert stats.eligible > 0
+
+
+def test_core_model_throughput(benchmark):
+    """Cycle-model µops/second (no predictor)."""
+    trace = build_trace("vpr", 12000)
+
+    def run():
+        return simulate(trace, None, warmup=0, workload="vpr")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert result.cycles > 0

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scenario: which predictor family wins where (Sections 8.2.3 and 8.3).
+
+Runs the four single-scheme predictors plus the two hybrids over a set of
+behaviourally distinct workloads and prints a speedup matrix — the
+compressed version of Figures 4(b) and 7(a).
+
+Run:  python examples/predictor_shootout.py [n_uops]
+"""
+
+import sys
+
+from repro.analysis.report import format_table, geometric_mean
+from repro.experiments.runner import (
+    baseline_result,
+    make_predictor,
+    run_workload,
+)
+
+WORKLOADS = ("wupwise", "bzip2", "gcc", "applu", "h264ref", "crafty", "namd")
+SCHEMES = ("lvp", "2dstride", "fcm", "vtage", "fcm-2dstride", "vtage-2dstride")
+
+
+def main() -> None:
+    n_uops = int(sys.argv[1]) if len(sys.argv) > 1 else 24_000
+    warmup = n_uops // 2
+    rows = []
+    per_scheme: dict[str, list[float]] = {s: [] for s in SCHEMES}
+    for workload in WORKLOADS:
+        base = baseline_result(workload, n_uops=n_uops, warmup=warmup)
+        row = [workload]
+        for scheme in SCHEMES:
+            result = run_workload(
+                workload, make_predictor(scheme, fpc=True),
+                n_uops=n_uops, warmup=warmup,
+            )
+            speedup = result.speedup_over(base)
+            per_scheme[scheme].append(speedup)
+            row.append(f"{speedup:.3f}")
+        rows.append(row)
+        print(f"  ... {workload} done", flush=True)
+    rows.append(
+        ["gmean"] + [f"{geometric_mean(per_scheme[s]):.3f}" for s in SCHEMES]
+    )
+    print()
+    print(format_table(["benchmark"] + list(SCHEMES), rows,
+                       title="Speedup over no-VP baseline (FPC, squash at commit)"))
+    print()
+    print("Expected shapes: 2D-Stride leads on wupwise/bzip2; VTAGE leads on")
+    print("gcc/applu; the VTAGE+2D-Stride hybrid is at least as good as the")
+    print("best single scheme everywhere (Section 8.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Trace-driven predictor evaluation (accuracy/coverage, no timing).
+
+This harness drives a value predictor over a trace exactly as the front-end
+would — lookup at fetch with the running branch history, speculative state
+update, training at commit — but without the cycle model, which makes it
+fast enough for table-size sweeps and unit tests.
+
+The *training delay* parameter emulates the fetch-to-commit distance: the
+training for occurrence n is applied only after `delay` further µops have
+been fetched, so tight-loop instances observe stale tables, as in the real
+pipeline (Section 3.2 / 7.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.isa.trace import Trace
+from repro.predictors.base import PredictionContext, ValuePredictor
+from repro.predictors.oracle import OraclePredictor
+
+
+@dataclass
+class PredictorStats:
+    """Accuracy/coverage statistics for one predictor on one trace."""
+
+    predictor: str = ""
+    trace: str = ""
+    eligible: int = 0
+    predicted: int = 0
+    used: int = 0
+    correct_used: int = 0
+    wrong_used: int = 0
+    correct_unused: int = 0
+    per_pc_used: dict = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of eligible µops whose prediction was actually used."""
+        return self.used / self.eligible if self.eligible else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of used predictions that were correct."""
+        return self.correct_used / self.used if self.used else 1.0
+
+    @property
+    def useful_coverage(self) -> float:
+        """Fraction of eligible µops predicted correctly *and* used."""
+        return self.correct_used / self.eligible if self.eligible else 0.0
+
+
+def evaluate_predictor(
+    trace: Trace,
+    predictor: ValuePredictor,
+    warmup: int = 0,
+    training_delay: int = 0,
+) -> PredictorStats:
+    """Measure accuracy and coverage of *predictor* over *trace*."""
+    stats = PredictorStats(predictor=predictor.name, trace=trace.name)
+    ctx = PredictionContext()
+    is_oracle = isinstance(predictor, OraclePredictor)
+    pending: deque = deque()
+    for i, uop in enumerate(trace.uops):
+        if uop.is_cond_branch:
+            ctx.push_branch(uop.taken, uop.pc)
+        if not uop.produces_value:
+            continue
+        while pending and pending[0][0] <= i:
+            __, key, actual, rec = pending.popleft()
+            predictor.train(key, actual, rec)
+        key = uop.predictor_key()
+        if is_oracle:
+            predictor.set_actual(uop.value)
+        prediction = predictor.lookup(key, ctx)
+        if prediction is not None:
+            predictor.speculate(key, prediction)
+        if i >= warmup:
+            stats.eligible += 1
+            if prediction is not None:
+                stats.predicted += 1
+                correct = prediction.value == uop.value
+                if prediction.confident:
+                    stats.used += 1
+                    if correct:
+                        stats.correct_used += 1
+                    else:
+                        stats.wrong_used += 1
+                elif correct:
+                    stats.correct_unused += 1
+        if training_delay:
+            pending.append((i + training_delay, key, uop.value, prediction))
+        else:
+            predictor.train(key, uop.value, prediction)
+    while pending:
+        __, key, actual, rec = pending.popleft()
+        predictor.train(key, actual, rec)
+    return stats

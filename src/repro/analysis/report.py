@@ -1,0 +1,73 @@
+"""Plain-text rendering for tables and bar charts.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+tables as aligned columns, figures as horizontal ASCII bar charts (one bar
+per benchmark, like the paper's speedup plots).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: dict[str, float],
+    title: str | None = None,
+    width: int = 50,
+    baseline: float = 1.0,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart; bars start at *baseline* (e.g. speedup = 1).
+
+    Values below the baseline render as '<' bars (slowdowns), values above
+    as '#' bars, matching how the paper's speedup figures read.
+    """
+    if not values:
+        return title or ""
+    span = max(abs(v - baseline) for v in values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        delta = value - baseline
+        bar_len = int(round(abs(delta) / span * width))
+        bar = ("#" if delta >= 0 else "<") * bar_len
+        lines.append(f"{name.ljust(label_width)} |{bar:<{width}} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional average for speedups)."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

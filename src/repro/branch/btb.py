@@ -1,0 +1,50 @@
+"""Branch Target Buffer: 2-way, 4 K entries (Table 2)."""
+
+from __future__ import annotations
+
+from repro.util.hashing import table_index
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with true-LRU replacement inside each set."""
+
+    def __init__(self, entries: int = 4096, ways: int = 2):
+        if entries % ways:
+            raise ValueError("entry count must be divisible by associativity")
+        sets = entries // ways
+        if sets & (sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.entries = entries
+        self.ways = ways
+        self.sets = sets
+        self._index_bits = sets.bit_length() - 1
+        # Each set is an ordered list of (pc, target); front = MRU.
+        self._sets: list[list[tuple[int, int]]] = [[] for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, pc: int) -> list[tuple[int, int]]:
+        return self._sets[table_index(pc, self._index_bits)]
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the cached target for *pc*, or None on a BTB miss."""
+        ways = self._set_for(pc)
+        for position, (tag, target) in enumerate(ways):
+            if tag == pc:
+                if position:
+                    ways.insert(0, ways.pop(position))
+                self.hits += 1
+                return target
+        self.misses += 1
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Install or refresh the target for *pc* (LRU replacement)."""
+        ways = self._set_for(pc)
+        for position, (tag, _) in enumerate(ways):
+            if tag == pc:
+                ways.pop(position)
+                break
+        ways.insert(0, (pc, target))
+        if len(ways) > self.ways:
+            ways.pop()

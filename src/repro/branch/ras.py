@@ -1,0 +1,34 @@
+"""Return Address Stack: 32 entries (Table 2).
+
+A circular stack: deep recursion silently wraps around and corrupts older
+entries, producing the realistic occasional return misprediction.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    def __init__(self, entries: int = 32):
+        if entries <= 0:
+            raise ValueError("RAS needs at least one entry")
+        self.entries = entries
+        self._stack = [0] * entries
+        self._top = 0  # index of the next free slot
+        self._depth = 0  # logical depth, may exceed `entries`
+
+    def push(self, return_address: int) -> None:
+        self._stack[self._top % self.entries] = return_address
+        self._top += 1
+        self._depth += 1
+
+    def pop(self) -> int | None:
+        """Pop the predicted return address; None when logically empty."""
+        if self._depth == 0:
+            return None
+        self._top -= 1
+        self._depth -= 1
+        return self._stack[self._top % self.entries]
+
+    @property
+    def depth(self) -> int:
+        return self._depth

@@ -1,0 +1,93 @@
+"""Front-end branch unit: TAGE + BTB + RAS + history management.
+
+The unit owns the :class:`~repro.predictors.base.PredictionContext` shared
+with the value predictor, since VTAGE is indexed with the same global branch
+and path history the branch predictor maintains (Section 6).
+
+Being trace-driven, the simulator resolves each control µop immediately: the
+unit predicts, compares against the actual outcome from the trace, trains,
+and reports whether the front end would have been redirected.  Wrong-path
+fetch is not simulated (standard trace-driven limitation, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.tage import TAGEBranchPredictor, TAGEConfig
+from repro.isa.uop import MicroOp, OpClass
+from repro.predictors.base import PredictionContext
+
+
+@dataclass(slots=True)
+class BranchResult:
+    """Outcome of processing one control µop.
+
+    Attributes:
+        direction_mispredict: TAGE predicted the wrong direction (full
+            branch misprediction penalty, resolved at execute).
+        target_mispredict: direction fine but the target was unavailable or
+            wrong (BTB/RAS miss).  Resolved early (decode) for direct
+            branches; modelled with a shorter redirect penalty.
+    """
+
+    direction_mispredict: bool = False
+    target_mispredict: bool = False
+
+    @property
+    def any_redirect(self) -> bool:
+        return self.direction_mispredict or self.target_mispredict
+
+
+class BranchUnit:
+    """Predict/train all control µops and maintain the shared history."""
+
+    def __init__(self, tage_config: TAGEConfig | None = None):
+        self.tage = TAGEBranchPredictor(tage_config)
+        self.btb = BranchTargetBuffer()
+        self.ras = ReturnAddressStack()
+        self.context = PredictionContext()
+        self.cond_branches = 0
+        self.direction_mispredicts = 0
+        self.target_mispredicts = 0
+
+    def process(self, uop: MicroOp) -> BranchResult:
+        """Predict, train and record history for one control µop."""
+        result = BranchResult()
+        op = uop.op_class
+        if op is OpClass.BRANCH:
+            self.cond_branches += 1
+            predicted, payload = self.tage.predict(uop.pc, self.context)
+            if predicted != uop.taken:
+                result.direction_mispredict = True
+                self.direction_mispredicts += 1
+            elif uop.taken:
+                result.target_mispredict = self._check_target(uop)
+            self.tage.update(uop.pc, uop.taken, predicted, payload)
+            # Speculative history equals actual history on the correct path
+            # (mispredicted branches repair it before younger correct-path
+            # µops refetch), so pushing the actual outcome is faithful.
+            self.context.push_branch(uop.taken, uop.pc)
+        elif op is OpClass.JUMP:
+            result.target_mispredict = self._check_target(uop)
+        elif op is OpClass.CALL:
+            result.target_mispredict = self._check_target(uop)
+            self.ras.push(uop.pc + 4)
+        elif op is OpClass.RET:
+            predicted_target = self.ras.pop()
+            if predicted_target != uop.target:
+                result.direction_mispredict = True  # full penalty: resolved late
+                self.direction_mispredicts += 1
+        if result.target_mispredict:
+            self.target_mispredicts += 1
+        return result
+
+    def _check_target(self, uop: MicroOp) -> bool:
+        """BTB check for a taken control µop; installs on miss."""
+        cached = self.btb.lookup(uop.pc)
+        if cached == uop.target:
+            return False
+        self.btb.install(uop.pc, uop.target)
+        return True

@@ -1,0 +1,130 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro.cli run h264ref --predictor vtage-2dstride
+    python -m repro.cli table 1
+    python -m repro.cli figure 4 --uops 8000 --warmup 4000 --workloads crafty,gcc
+    python -m repro.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures, tables
+from repro.experiments.runner import (
+    DEFAULT_MEASURE,
+    DEFAULT_WARMUP,
+    PREDICTOR_NAMES,
+    baseline_result,
+    make_predictor,
+    run_workload,
+)
+from repro.workloads.catalog import ALL_WORKLOADS, WORKLOADS
+
+_FIGURES = {
+    "1": figures.figure1,
+    "3": figures.figure3,
+    "4": figures.figure4,
+    "5": figures.figure5,
+    "6": figures.figure6,
+    "7": figures.figure7,
+}
+_TABLES = {"1": tables.table1, "2": tables.table2, "3": tables.table3}
+
+
+def _parse_workloads(raw: str | None) -> tuple[str, ...]:
+    if not raw:
+        return ALL_WORKLOADS
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    unknown = [n for n in names if n not in ALL_WORKLOADS]
+    if unknown:
+        raise SystemExit(f"unknown workloads: {', '.join(unknown)}")
+    return names
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    predictor = make_predictor(args.predictor, fpc=not args.no_fpc,
+                               recovery=args.recovery)
+    result = run_workload(args.workload, predictor, n_uops=args.uops,
+                          warmup=args.warmup, recovery=args.recovery)
+    print(result.summary_line())
+    if args.predictor != "none":
+        base = baseline_result(args.workload, n_uops=args.uops,
+                               warmup=args.warmup)
+        print(f"speedup over no-VP baseline: {result.speedup_over(base):.3f}x")
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    print(_TABLES[args.which]())
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    fn = _FIGURES[args.which]
+    kwargs = {"workloads": _parse_workloads(args.workloads)}
+    if args.which != "1":
+        kwargs.update(n_uops=args.uops, warmup=args.warmup)
+    else:
+        kwargs.update(n_uops=args.uops)
+    fig = fn(**kwargs)
+    print(fig.text)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("predictors:", ", ".join(PREDICTOR_NAMES))
+    print()
+    print("workloads (Table 3):")
+    for spec in WORKLOADS:
+        print(f"  {spec.name:<10} {spec.spec_name:<12} {spec.suite:<4} {spec.notes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Perais & Seznec, HPCA 2014 "
+                    "(VTAGE + FPC value prediction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("workload", choices=ALL_WORKLOADS)
+    run_p.add_argument("--predictor", default="vtage-2dstride",
+                       choices=PREDICTOR_NAMES)
+    run_p.add_argument("--recovery", default="squash",
+                       choices=("squash", "reissue"))
+    run_p.add_argument("--no-fpc", action="store_true",
+                       help="use plain 3-bit confidence counters")
+    run_p.add_argument("--uops", type=int, default=DEFAULT_MEASURE)
+    run_p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    run_p.set_defaults(fn=cmd_run)
+
+    table_p = sub.add_parser("table", help="render a paper table")
+    table_p.add_argument("which", choices=sorted(_TABLES))
+    table_p.set_defaults(fn=cmd_table)
+
+    figure_p = sub.add_parser("figure", help="reproduce a paper figure")
+    figure_p.add_argument("which", choices=sorted(_FIGURES))
+    figure_p.add_argument("--workloads", default=None,
+                          help="comma-separated subset (default: all 19)")
+    figure_p.add_argument("--uops", type=int, default=DEFAULT_MEASURE)
+    figure_p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    figure_p.set_defaults(fn=cmd_figure)
+
+    list_p = sub.add_parser("list", help="list predictors and workloads")
+    list_p.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Hybrid value predictors (Section 7.1.2).
+
+The paper combines VTAGE with 2D-Stride (and, as the baseline hybrid,
+o4-FCM with 2D-Stride) using a deliberately simple arbitration rule:
+
+* if only one component is confident, its prediction is selected;
+* if both are confident and agree, the prediction proceeds;
+* if both are confident but disagree, **no** prediction is made.
+
+The hybrid also cross-feeds speculative state: "use the last prediction of
+VTAGE as the next last value for 2D-Stride if VTAGE is confident".  At
+retire, *all* components are trained with the committed value.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import Prediction, PredictionContext, ValuePredictor
+from repro.predictors.stride import StridePredictor
+
+
+class HybridPredictor(ValuePredictor):
+    """Two-component hybrid with agree-gating arbitration."""
+
+    name = "Hybrid"
+
+    def __init__(self, first: ValuePredictor, second: ValuePredictor, name: str | None = None):
+        self.first = first
+        self.second = second
+        self.name = name if name is not None else f"{first.name}+{second.name}"
+
+    def lookup(self, key: int, ctx: PredictionContext) -> Prediction | None:
+        pred_a = self.first.lookup(key, ctx)
+        pred_b = self.second.lookup(key, ctx)
+        chosen = self._arbitrate(pred_a, pred_b)
+        payload = (pred_a, pred_b)
+        if chosen is None:
+            # Neither component hit; expose an unconfident null prediction so
+            # training can still reach both components.
+            return Prediction(value=0, confident=False, payload=payload, source=self.name)
+        return Prediction(
+            value=chosen.value,
+            confident=chosen.confident,
+            payload=payload,
+            source=chosen.source,
+        )
+
+    @staticmethod
+    def _arbitrate(
+        pred_a: Prediction | None, pred_b: Prediction | None
+    ) -> Prediction | None:
+        a_conf = pred_a is not None and pred_a.confident
+        b_conf = pred_b is not None and pred_b.confident
+        if a_conf and b_conf:
+            if pred_a.value == pred_b.value:
+                return pred_a
+            # Confident disagreement: abstain.
+            return Prediction(value=0, confident=False, source="disagree")
+        if a_conf:
+            return pred_a
+        if b_conf:
+            return pred_b
+        # No confident component: return any hit for bookkeeping (unused).
+        return pred_a if pred_a is not None else pred_b
+
+    def speculate(self, key: int, prediction: Prediction | None) -> None:
+        if prediction is None:
+            return
+        pred_a, pred_b = prediction.payload
+        self.first.speculate(key, pred_a)
+        self.second.speculate(key, pred_b)
+        # Cross-feed: a confident component's prediction becomes the
+        # speculative last occurrence for a stride-based partner.
+        if prediction.confident:
+            for component in (self.first, self.second):
+                if isinstance(component, StridePredictor):
+                    component.set_speculative_last(key, prediction.value)
+
+    def train(self, key: int, actual: int, prediction: Prediction | None) -> None:
+        if prediction is None or prediction.payload is None:
+            self.first.train(key, actual, None)
+            self.second.train(key, actual, None)
+            return
+        pred_a, pred_b = prediction.payload
+        self.first.train(key, actual, pred_a)
+        self.second.train(key, actual, pred_b)
+
+    def on_squash(self) -> None:
+        self.first.on_squash()
+        self.second.on_squash()
+
+    def storage_bits(self) -> int:
+        return self.first.storage_bits() + self.second.storage_bits()
+
+    def describe(self) -> str:
+        return f"hybrid[{self.first.describe()} | {self.second.describe()}]"

@@ -1,0 +1,66 @@
+"""SAg confidence estimation (Burtscher & Zorn [3], Section 5).
+
+The paper contrasts FPC against SAg: "Burtscher et al. proposed the SAg
+confidence estimation scheme to assign confidence to a history of outcomes
+rather than to a particular instruction.  However, this entails a second
+lookup in the counter table using the outcome history retrieved in the
+predictor table with the PC of the instruction."
+
+SAg keeps, per predictor entry, a short shift register of recent
+hit(1)/miss(0) outcomes; the *pattern* indexes a shared table of saturating
+counters whose value gates the prediction.  Entries with the same recent
+behaviour therefore share one confidence estimate, converging much faster
+than per-entry counters at the cost of the second lookup (the complexity
+argument that motivates FPC).
+
+This implementation exposes the same ``on_correct/on_incorrect/
+is_confident`` surface as the other policies, but it is stateful per key,
+so predictors use it through :class:`SAgConfidenceBank` rather than the
+plain :class:`~repro.core.confidence.ConfidencePolicy` protocol.
+"""
+
+from __future__ import annotations
+
+
+class SAgConfidenceBank:
+    """Shared-pattern confidence: per-key outcome history + global counters."""
+
+    def __init__(
+        self,
+        history_bits: int = 8,
+        counter_bits: int = 4,
+        threshold: int | None = None,
+    ):
+        if history_bits <= 0 or history_bits > 20:
+            raise ValueError("history width must be in 1..20")
+        if counter_bits <= 0:
+            raise ValueError("counter width must be positive")
+        self.history_bits = history_bits
+        self.counter_bits = counter_bits
+        self.counter_max = (1 << counter_bits) - 1
+        self.threshold = threshold if threshold is not None else self.counter_max
+        self._histories: dict[int, int] = {}
+        self._counters = [0] * (1 << history_bits)
+        self._mask = (1 << history_bits) - 1
+
+    def is_confident(self, key: int) -> bool:
+        """Gate a prediction for *key* on its outcome-pattern counter."""
+        pattern = self._histories.get(key, 0)
+        return self._counters[pattern] >= self.threshold
+
+    def record(self, key: int, correct: bool) -> None:
+        """Update both the shared counter and the per-key history."""
+        pattern = self._histories.get(key, 0)
+        if correct:
+            if self._counters[pattern] < self.counter_max:
+                self._counters[pattern] += 1
+        else:
+            self._counters[pattern] = 0
+        self._histories[key] = ((pattern << 1) | (1 if correct else 0)) & self._mask
+
+    def storage_bits(self, tracked_entries: int) -> int:
+        """History register per predictor entry + the shared counter table."""
+        return (
+            tracked_entries * self.history_bits
+            + len(self._counters) * self.counter_bits
+        )

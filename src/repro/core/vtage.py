@@ -1,0 +1,292 @@
+"""VTAGE — the Value TAgged GEometric history length predictor (Section 6).
+
+VTAGE is the paper's main structural contribution: a value predictor derived
+from the ITTAGE indirect-branch predictor.  A (1+N)-component VTAGE consists
+of:
+
+* a tagless *base* component — an LVP table indexed by instruction address
+  only — and
+* N *tagged* components, each indexed by a hash of the instruction address
+  with a different number of bits of the global branch history (plus path
+  history).  The history lengths form a geometric series (2, 4, 8, ... for
+  the paper's 6-component configuration, Table 1).
+
+An entry of a tagged component holds a partial tag (12 + rank bits), a 1-bit
+usefulness counter ``u``, a full 64-bit value ``val`` and a 3-bit
+confidence/hysteresis counter ``c``.  At prediction time all components are
+searched in parallel; the matching component with the longest history — the
+*provider* — supplies the prediction, which is used only if ``c`` is
+saturated (this confidence gating is the main difference from ITTAGE).
+
+Update policy (at commit, only the provider is updated):
+
+* correct:   ``c++`` (saturating, possibly probabilistic under FPC), ``u = 1``;
+* incorrect: ``val`` replaced if ``c == 0``; ``c = 0``; ``u = 0``; and a new
+  entry is allocated in a randomly chosen not-useful (``u == 0``) component
+  using a longer history than the provider.  If all upper components are
+  useful, their ``u`` bits are reset instead and nothing is allocated.
+
+Because the prediction depends only on control flow — never on previous
+values of the same instruction — VTAGE predicts back-to-back occurrences of
+an instruction seamlessly and its table lookup may span several cycles
+(Fetch to Dispatch), permitting very large tables (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.confidence import ConfidencePolicy
+from repro.predictors.base import Prediction, PredictionContext, ValuePredictor
+from repro.util.bits import fold_value
+from repro.util.hashing import table_index, tag_hash
+from repro.util.lfsr import GaloisLFSR
+
+_VALUE_BITS = 64
+_USEFUL_BITS = 1
+
+#: Geometric history lengths of the paper's 6 tagged components (Table 1).
+PAPER_HISTORY_LENGTHS = (2, 4, 8, 16, 32, 64)
+
+
+class _TaggedComponent:
+    """One tagged VTAGE component."""
+
+    __slots__ = (
+        "rank",
+        "entries",
+        "index_bits",
+        "tag_bits",
+        "history_length",
+        "tags",
+        "values",
+        "conf",
+        "useful",
+    )
+
+    def __init__(self, rank: int, entries: int, tag_bits: int, history_length: int):
+        self.rank = rank
+        self.entries = entries
+        self.index_bits = entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.history_length = history_length
+        self.tags = [-1] * entries
+        self.values = [0] * entries
+        self.conf = [0] * entries
+        self.useful = [0] * entries
+
+    def compress_context(self, ctx: PredictionContext) -> int:
+        """Mix the relevant slice of global/path history into one integer."""
+        hist = ctx.ghist & ((1 << self.history_length) - 1)
+        # Use up to 16 bits of path history, as TAGE-family predictors do.
+        path_bits = min(self.history_length, 16)
+        path = ctx.path & ((1 << path_bits) - 1)
+        return fold_value(hist, 16) ^ (path << 1) ^ (self.history_length << 17)
+
+    def index_and_tag(self, key: int, ctx: PredictionContext) -> tuple[int, int]:
+        compressed = self.compress_context(ctx)
+        idx = table_index(key, self.index_bits, extra=compressed)
+        tag = tag_hash(key, self.tag_bits, extra=compressed)
+        return idx, tag
+
+    def storage_bits(self, conf_bits: int) -> int:
+        per_entry = _VALUE_BITS + self.tag_bits + conf_bits + _USEFUL_BITS
+        return self.entries * per_entry
+
+
+class VTAGEPredictor(ValuePredictor):
+    """The (1+N)-component VTAGE predictor of Section 6."""
+
+    name = "VTAGE"
+
+    def __init__(
+        self,
+        base_entries: int = 8192,
+        tagged_entries: int = 1024,
+        history_lengths: tuple[int, ...] = PAPER_HISTORY_LENGTHS,
+        base_tag_bits: int = 12,
+        confidence: ConfidencePolicy | None = None,
+        lfsr: GaloisLFSR | None = None,
+    ):
+        if base_entries <= 0 or base_entries & (base_entries - 1):
+            raise ValueError("base entry count must be a positive power of two")
+        if tagged_entries <= 0 or tagged_entries & (tagged_entries - 1):
+            raise ValueError("tagged entry count must be a positive power of two")
+        if list(history_lengths) != sorted(history_lengths) or len(
+            set(history_lengths)
+        ) != len(history_lengths):
+            raise ValueError("history lengths must be strictly increasing")
+        self.confidence = confidence if confidence is not None else ConfidencePolicy()
+        self._lfsr = lfsr if lfsr is not None else GaloisLFSR(width=16, seed=0xBEEF)
+        # Base component: a tagless LVP table (value + confidence only).
+        self.base_entries = base_entries
+        self._base_index_bits = base_entries.bit_length() - 1
+        self._base_values = [0] * base_entries
+        self._base_conf = [0] * base_entries
+        # Tagged components; rank 1 uses the shortest history (Table 1:
+        # "Tag = 12 + rank" bits).
+        self.components = [
+            _TaggedComponent(
+                rank=rank,
+                entries=tagged_entries,
+                tag_bits=base_tag_bits + rank,
+                history_length=length,
+            )
+            for rank, length in enumerate(history_lengths, start=1)
+        ]
+        self.max_history = max(history_lengths)
+
+    # -- ValuePredictor interface ----------------------------------------
+
+    def lookup(self, key: int, ctx: PredictionContext) -> Prediction | None:
+        """Search all components; the longest-history hit provides.
+
+        As in ITTAGE, a *newly allocated* provider entry (confidence 0, not
+        yet proven useful) does not override the alternate prediction — the
+        next-longest match, ultimately the base LVP table.  Without this
+        rule, the continuous allocations triggered by hard-to-predict
+        instructions shadow perfectly confident base entries and destroy
+        coverage.
+        """
+        base_idx = self._base_index(key)
+        provider_rank = 0
+        alt_rank = 0
+        positions = []
+        for comp in self.components:
+            idx, tag = comp.index_and_tag(key, ctx)
+            positions.append((idx, tag))
+            if comp.tags[idx] == tag:
+                alt_rank = provider_rank
+                provider_rank = comp.rank
+        if provider_rank == 0:
+            value = self._base_values[base_idx]
+            conf = self._base_conf[base_idx]
+            effective_rank = 0
+        else:
+            comp = self.components[provider_rank - 1]
+            idx, _ = positions[provider_rank - 1]
+            newly_allocated = comp.conf[idx] == 0 and comp.useful[idx] == 0
+            if newly_allocated:
+                effective_rank = alt_rank
+            else:
+                effective_rank = provider_rank
+            if effective_rank == 0:
+                value = self._base_values[base_idx]
+                conf = self._base_conf[base_idx]
+            else:
+                ecomp = self.components[effective_rank - 1]
+                eidx, _ = positions[effective_rank - 1]
+                value = ecomp.values[eidx]
+                conf = ecomp.conf[eidx]
+        return Prediction(
+            value=value,
+            confident=self.confidence.is_confident(conf),
+            payload=(provider_rank, effective_rank, base_idx, tuple(positions)),
+            source=self.name,
+        )
+
+    def train(self, key: int, actual: int, prediction: Prediction | None) -> None:
+        if prediction is None or prediction.payload is None:
+            # Lookup context unavailable (e.g. fast-forward warm-up): only
+            # the base component can be trained meaningfully.
+            self._train_base(self._base_index(key), actual)
+            return
+        provider_rank, effective_rank, base_idx, positions = prediction.payload
+        final_correct = prediction.value == actual
+        # Update the provider entry against its own prediction.
+        if provider_rank == 0:
+            self._train_base(base_idx, actual)
+        else:
+            comp = self.components[provider_rank - 1]
+            idx, _ = positions[provider_rank - 1]
+            provider_was_weak = comp.conf[idx] == 0
+            self._train_tagged(comp, idx, actual)
+            # When the provider is weak (newly allocated or recently wrong),
+            # keep the alternate/base learning so the safety net stays warm
+            # while tagged entries churn — the ITTAGE weak-provider
+            # alt-update rule.
+            if provider_was_weak:
+                if effective_rank not in (0, provider_rank):
+                    acomp = self.components[effective_rank - 1]
+                    aidx, _ = positions[effective_rank - 1]
+                    self._train_tagged(acomp, aidx, actual)
+                self._train_base(base_idx, actual)
+        if not final_correct:
+            self._allocate(provider_rank, positions, actual)
+
+    def on_squash(self) -> None:
+        # VTAGE holds no per-instruction speculative value state; nothing to
+        # repair beyond the branch history, which the front-end owns.
+        return
+
+    def storage_bits(self) -> int:
+        conf_bits = self.confidence.storage_bits()
+        base = self.base_entries * (_VALUE_BITS + conf_bits)
+        tagged = sum(comp.storage_bits(conf_bits) for comp in self.components)
+        return base + tagged
+
+    # -- internals ---------------------------------------------------------
+
+    def _base_index(self, key: int) -> int:
+        return table_index(key, self._base_index_bits)
+
+    def _train_base(self, idx: int, actual: int) -> None:
+        """Base component update: tagless LVP semantics."""
+        if self._base_values[idx] == actual:
+            self._base_conf[idx] = self.confidence.on_correct(self._base_conf[idx])
+        else:
+            if self._base_conf[idx] == 0:
+                self._base_values[idx] = actual
+            self._base_conf[idx] = self.confidence.on_incorrect(self._base_conf[idx])
+
+    def _train_tagged(self, comp: _TaggedComponent, idx: int, actual: int) -> None:
+        """Tagged entry update per Section 6: c++/u=1 on correct; on a
+        misprediction, val replaced when c == 0, then c reset and u cleared."""
+        if comp.values[idx] == actual:
+            comp.conf[idx] = self.confidence.on_correct(comp.conf[idx])
+            comp.useful[idx] = 1
+        else:
+            if comp.conf[idx] == 0:
+                comp.values[idx] = actual
+            comp.conf[idx] = self.confidence.on_incorrect(comp.conf[idx])
+            comp.useful[idx] = 0
+
+    def _allocate(
+        self,
+        provider_rank: int,
+        positions: tuple[tuple[int, int], ...],
+        actual: int,
+    ) -> None:
+        """On a misprediction, try to allocate in a longer-history component.
+
+        Candidates are the "upper" components (rank > provider) whose
+        indexed entry is not useful; one is chosen (pseudo-)randomly.  If
+        every upper entry is useful, their u bits are reset and no entry is
+        allocated (Section 6).
+        """
+        upper = [
+            (comp, positions[comp.rank - 1])
+            for comp in self.components
+            if comp.rank > provider_rank
+        ]
+        if not upper:
+            return
+        candidates = [
+            (comp, idx, tag) for comp, (idx, tag) in upper if comp.useful[idx] == 0
+        ]
+        if not candidates:
+            for comp, (idx, _) in upper:
+                comp.useful[idx] = 0
+            return
+        choice = self._lfsr.step() % len(candidates)
+        comp, idx, tag = candidates[choice]
+        comp.tags[idx] = tag
+        comp.values[idx] = actual
+        comp.conf[idx] = 0
+        comp.useful[idx] = 0
+
+    def describe(self) -> str:
+        lengths = ",".join(str(c.history_length) for c in self.components)
+        return (
+            f"VTAGE base {self.base_entries} + {len(self.components)} x "
+            f"{self.components[0].entries} (hist {lengths}), "
+            f"{self.confidence.describe()}"
+        )

@@ -1,0 +1,54 @@
+"""Experiment drivers: one callable per table/figure of the paper.
+
+* :mod:`repro.experiments.runner` — predictor factories, suite runs,
+  baseline caching;
+* :mod:`repro.experiments.tables` — Tables 1-3;
+* :mod:`repro.experiments.figures` — Figures 1, 3, 4, 5, 6, 7;
+* :mod:`repro.experiments.reproduce` — the everything driver that
+  regenerates EXPERIMENTS.md.
+"""
+
+from repro.experiments.figures import (
+    FigureResult,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.runner import (
+    DEFAULT_MEASURE,
+    DEFAULT_WARMUP,
+    PREDICTOR_NAMES,
+    baseline_result,
+    make_confidence,
+    make_predictor,
+    run_suite,
+    run_workload,
+    speedups,
+)
+from repro.experiments.tables import table1, table1_rows, table2, table3
+
+__all__ = [
+    "DEFAULT_MEASURE",
+    "DEFAULT_WARMUP",
+    "FigureResult",
+    "PREDICTOR_NAMES",
+    "baseline_result",
+    "figure1",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "make_confidence",
+    "make_predictor",
+    "run_suite",
+    "run_workload",
+    "speedups",
+    "table1",
+    "table1_rows",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,182 @@
+"""Experiment plumbing: predictor construction, runs, sweeps and caching.
+
+Every figure driver composes three things: a predictor configuration (by
+name), a set of workloads, and the core's recovery mode.  Baseline (no-VP)
+runs are cached per (workload, trace-length) pair since every speedup in
+the paper is relative to the same baseline core.
+"""
+
+from __future__ import annotations
+
+from repro.core.confidence import (
+    ConfidencePolicy,
+    ForwardProbabilisticCounters,
+    WideConfidence,
+)
+from repro.core.hybrid import HybridPredictor
+from repro.core.vtage import VTAGEPredictor
+from repro.pipeline.config import CoreConfig, RecoveryMode
+from repro.pipeline.core import simulate
+from repro.pipeline.result import SimResult
+from repro.predictors.base import ValuePredictor
+from repro.predictors.fcm import DifferentialFCMPredictor, FCMPredictor
+from repro.predictors.lvp import LastValuePredictor
+from repro.predictors.oracle import OraclePredictor
+from repro.predictors.stride import (
+    PerPathStridePredictor,
+    StridePredictor,
+    TwoDeltaStridePredictor,
+)
+from repro.workloads.catalog import ALL_WORKLOADS, build_trace
+
+#: Default slice sizes.  The paper warms 50 M µops and measures 50 M; a
+#: pure-Python cycle model scales that down (DESIGN.md, "Scaling defaults").
+DEFAULT_WARMUP = 12_000
+DEFAULT_MEASURE = 36_000
+
+PREDICTOR_NAMES = (
+    "none",
+    "oracle",
+    "lvp",
+    "stride",
+    "2dstride",
+    "ps-stride",
+    "fcm",
+    "dfcm",
+    "vtage",
+    "vtage-2dstride",
+    "fcm-2dstride",
+)
+
+
+def make_confidence(fpc: bool, recovery: str) -> ConfidencePolicy:
+    """The paper's two confidence configurations (Section 5/7.1.1)."""
+    if not fpc:
+        return ConfidencePolicy(bits=3)
+    if recovery == "reissue":
+        return ForwardProbabilisticCounters.for_reissue()
+    return ForwardProbabilisticCounters.for_squash()
+
+
+def make_predictor(
+    name: str,
+    fpc: bool = True,
+    recovery: str = "squash",
+    entries: int = 8192,
+) -> ValuePredictor | None:
+    """Build a predictor configuration by its experiment name."""
+    if name == "none":
+        return None
+    if name == "oracle":
+        return OraclePredictor()
+    if name == "lvp":
+        return LastValuePredictor(entries=entries, confidence=make_confidence(fpc, recovery))
+    if name == "stride":
+        return StridePredictor(entries=entries, confidence=make_confidence(fpc, recovery))
+    if name == "2dstride":
+        return TwoDeltaStridePredictor(
+            entries=entries, confidence=make_confidence(fpc, recovery)
+        )
+    if name == "ps-stride":
+        return PerPathStridePredictor(
+            entries=entries, confidence=make_confidence(fpc, recovery)
+        )
+    if name == "fcm":
+        return FCMPredictor(entries=entries, confidence=make_confidence(fpc, recovery))
+    if name == "dfcm":
+        return DifferentialFCMPredictor(
+            entries=entries, confidence=make_confidence(fpc, recovery)
+        )
+    if name == "vtage":
+        return VTAGEPredictor(
+            base_entries=entries,
+            tagged_entries=max(64, entries // 8),
+            confidence=make_confidence(fpc, recovery),
+        )
+    if name == "vtage-2dstride":
+        return HybridPredictor(
+            VTAGEPredictor(
+                base_entries=entries,
+                tagged_entries=max(64, entries // 8),
+                confidence=make_confidence(fpc, recovery),
+            ),
+            TwoDeltaStridePredictor(
+                entries=entries, confidence=make_confidence(fpc, recovery)
+            ),
+            name="VTAGE-2DStr",
+        )
+    if name == "fcm-2dstride":
+        return HybridPredictor(
+            FCMPredictor(entries=entries, confidence=make_confidence(fpc, recovery)),
+            TwoDeltaStridePredictor(
+                entries=entries, confidence=make_confidence(fpc, recovery)
+            ),
+            name="o4FCM-2DStr",
+        )
+    raise ValueError(f"unknown predictor {name!r}; pick from {PREDICTOR_NAMES}")
+
+
+def run_workload(
+    workload: str,
+    predictor: ValuePredictor | None,
+    n_uops: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    recovery: str = "squash",
+    config: CoreConfig | None = None,
+) -> SimResult:
+    """Simulate one workload on a fresh core with *predictor*."""
+    trace = build_trace(workload, warmup + n_uops)
+    if config is None:
+        config = CoreConfig(
+            recovery=RecoveryMode.SELECTIVE_REISSUE
+            if recovery == "reissue"
+            else RecoveryMode.SQUASH_COMMIT
+        )
+    return simulate(trace, predictor, config=config, warmup=warmup, workload=workload)
+
+
+# Baselines depend only on trace length (no VP, recovery irrelevant).
+_BASELINE_CACHE: dict[tuple[str, int, int], SimResult] = {}
+
+
+def baseline_result(
+    workload: str, n_uops: int = DEFAULT_MEASURE, warmup: int = DEFAULT_WARMUP
+) -> SimResult:
+    key = (workload, n_uops, warmup)
+    if key not in _BASELINE_CACHE:
+        _BASELINE_CACHE[key] = run_workload(workload, None, n_uops=n_uops, warmup=warmup)
+    return _BASELINE_CACHE[key]
+
+
+def clear_baseline_cache() -> None:
+    _BASELINE_CACHE.clear()
+
+
+def run_suite(
+    predictor_name: str,
+    workloads: tuple[str, ...] = ALL_WORKLOADS,
+    n_uops: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    fpc: bool = True,
+    recovery: str = "squash",
+) -> dict[str, SimResult]:
+    """Run one predictor configuration over a set of workloads."""
+    results = {}
+    for workload in workloads:
+        predictor = make_predictor(predictor_name, fpc=fpc, recovery=recovery)
+        results[workload] = run_workload(
+            workload, predictor, n_uops=n_uops, warmup=warmup, recovery=recovery
+        )
+    return results
+
+
+def speedups(
+    results: dict[str, SimResult],
+    n_uops: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+) -> dict[str, float]:
+    """Speedup of each run over the cached no-VP baseline."""
+    return {
+        workload: result.speedup_over(baseline_result(workload, n_uops, warmup))
+        for workload, result in results.items()
+    }

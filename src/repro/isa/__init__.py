@@ -1,0 +1,29 @@
+"""µop-level instruction model and trace containers.
+
+The paper's evaluation works entirely at µop granularity on gem5-x86 ("all
+the width given in Table 2 are in µ-ops").  Our substitute front end is a
+trace of :class:`~repro.isa.uop.MicroOp` objects produced by the synthetic
+workload kernels (see :mod:`repro.workloads`); each µop carries its actual
+computed result value so the value predictors observe real value streams.
+"""
+
+from repro.isa.uop import (
+    INT_REGS,
+    FP_REGS,
+    MicroOp,
+    OpClass,
+    is_fp_class,
+    is_mem_class,
+)
+from repro.isa.trace import Trace, TraceStats
+
+__all__ = [
+    "FP_REGS",
+    "INT_REGS",
+    "MicroOp",
+    "OpClass",
+    "Trace",
+    "TraceStats",
+    "is_fp_class",
+    "is_mem_class",
+]

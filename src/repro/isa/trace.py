@@ -1,0 +1,119 @@
+"""Trace container and summary statistics.
+
+A :class:`Trace` is an ordered list of correct-path µops plus a little
+metadata about the workload that produced it.  Traces support slicing into
+warm-up and measurement regions, mirroring the paper's methodology of warming
+all structures before collecting statistics (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.uop import MicroOp, OpClass
+
+
+@dataclass(slots=True)
+class TraceStats:
+    """Aggregate statistics over a trace (used by reports and tests)."""
+
+    n_uops: int = 0
+    n_branches: int = 0
+    n_cond_branches: int = 0
+    n_taken: int = 0
+    n_loads: int = 0
+    n_stores: int = 0
+    n_value_producers: int = 0
+    op_class_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def branch_ratio(self) -> float:
+        return self.n_branches / self.n_uops if self.n_uops else 0.0
+
+    @property
+    def load_ratio(self) -> float:
+        return self.n_loads / self.n_uops if self.n_uops else 0.0
+
+
+class Trace:
+    """An ordered, indexable sequence of µops with workload metadata."""
+
+    def __init__(self, uops: list[MicroOp] | None = None, name: str = "anonymous"):
+        self.name = name
+        self._uops: list[MicroOp] = uops if uops is not None else []
+
+    def append(self, uop: MicroOp) -> None:
+        self._uops.append(uop)
+
+    def extend(self, uops: list[MicroOp]) -> None:
+        self._uops.extend(uops)
+
+    def __len__(self) -> int:
+        return len(self._uops)
+
+    def __iter__(self):
+        return iter(self._uops)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return Trace(self._uops[item], name=self.name)
+        return self._uops[item]
+
+    @property
+    def uops(self) -> list[MicroOp]:
+        """Direct access to the underlying µop list (hot paths iterate this)."""
+        return self._uops
+
+    def split(self, warmup: int) -> tuple["Trace", "Trace"]:
+        """Split into (warm-up slice, measurement slice) at µop *warmup*."""
+        if warmup < 0:
+            raise ValueError("warm-up length cannot be negative")
+        head = Trace(self._uops[:warmup], name=f"{self.name}:warmup")
+        tail = Trace(self._uops[warmup:], name=f"{self.name}:measure")
+        return head, tail
+
+    def stats(self) -> TraceStats:
+        """Compute summary statistics in a single pass."""
+        stats = TraceStats()
+        stats.n_uops = len(self._uops)
+        counts = stats.op_class_counts
+        for uop in self._uops:
+            counts[uop.op_class] += 1
+            if uop.is_branch:
+                stats.n_branches += 1
+                if uop.op_class is OpClass.BRANCH:
+                    stats.n_cond_branches += 1
+                if uop.taken:
+                    stats.n_taken += 1
+            if uop.is_load:
+                stats.n_loads += 1
+            elif uop.is_store:
+                stats.n_stores += 1
+            if uop.produces_value:
+                stats.n_value_producers += 1
+        return stats
+
+    def back_to_back_fraction(self, fetch_width: int = 8) -> float:
+        """Fraction of VP-eligible µops whose previous dynamic occurrence sits
+        within one fetch group, i.e. would have been fetched the previous
+        cycle.
+
+        This reproduces the measurement motivating Section 3.2: "there can be
+        as much as 15.3% (3.4% a-mean) fetched instructions eligible for VP
+        and for which the previous occurrence was fetched in the previous
+        cycle (8-wide Fetch)".
+        """
+        last_seen: dict[int, int] = {}
+        eligible = 0
+        back_to_back = 0
+        for position, uop in enumerate(self._uops):
+            if not uop.produces_value:
+                continue
+            eligible += 1
+            key = uop.predictor_key()
+            previous = last_seen.get(key)
+            if previous is not None and (position - previous) <= fetch_width:
+                back_to_back += 1
+            last_seen[key] = position
+        return back_to_back / eligible if eligible else 0.0

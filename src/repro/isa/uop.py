@@ -1,0 +1,125 @@
+"""The dynamic µop record.
+
+A :class:`MicroOp` is one dynamic micro-operation on the *correct* execution
+path, as a trace-driven simulator sees it.  It carries both architectural
+information (PC, operation class, source/destination registers) and oracle
+information (its actual result value, actual branch outcome, actual memory
+address) that the timing model and the predictors consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+# Architectural register file sizes of the modelled ISA.  Registers live in
+# a flat 64-entry space: ids 0-31 are integer registers, ids 32-63 are
+# floating-point registers (FP_REG_BASE + k).
+INT_REGS = 32
+FP_REGS = 32
+FP_REG_BASE = 32
+
+
+class OpClass(enum.IntEnum):
+    """Functional classes matching the execution resources of Table 2."""
+
+    INT_ALU = 0       # 8 units, 1 cycle
+    INT_MUL = 1       # 4 MulDiv units, 3 cycles, pipelined
+    INT_DIV = 2       # 4 MulDiv units, 25 cycles, NOT pipelined
+    FP_ADD = 3        # 8 FP units, 3 cycles
+    FP_MUL = 4        # 4 FPMulDiv units, 5 cycles
+    FP_DIV = 5        # 4 FPMulDiv units, 10 cycles, NOT pipelined
+    LOAD = 6          # 4 Ld/Str ports
+    STORE = 7         # 4 Ld/Str ports
+    BRANCH = 8        # conditional branch, resolves in the INT pool
+    JUMP = 9          # unconditional direct jump
+    CALL = 10         # direct call (pushes RAS)
+    RET = 11          # return (pops RAS)
+    NOP = 12
+
+
+_FP_CLASSES = frozenset({OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV})
+_MEM_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
+_CTRL_CLASSES = frozenset(
+    {OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RET}
+)
+
+
+def is_fp_class(op_class: OpClass) -> bool:
+    """True for µops that execute on the floating-point pools."""
+    return op_class in _FP_CLASSES
+
+
+def is_mem_class(op_class: OpClass) -> bool:
+    """True for loads and stores."""
+    return op_class in _MEM_CLASSES
+
+
+@dataclass(slots=True)
+class MicroOp:
+    """One dynamic µop of the correct-path trace.
+
+    Attributes:
+        seq: Dynamic sequence number (position in the trace).
+        pc: Address of the parent macro-instruction.
+        uop_index: Position of this µop inside its macro-instruction; mixed
+            into predictor indices per Section 7.2 of the paper.
+        op_class: Functional class, selects execution latency and FU pool.
+        srcs: Architectural source register ids (reads).
+        dst: Architectural destination register id, or ``None`` when the µop
+            produces no register value (stores, branches, nops).
+        value: Actual 64-bit result value written to ``dst``.  Meaningless
+            when ``dst is None``.
+        mem_addr: Effective byte address for loads/stores, else ``None``.
+        mem_size: Access size in bytes for loads/stores.
+        taken: Actual direction for conditional branches; ``True`` for
+            unconditional control µops.
+        target: Actual target address for control µops.
+        dst_is_fp: Destination (and value) live in the FP register space.
+    """
+
+    seq: int
+    pc: int
+    uop_index: int = 0
+    op_class: OpClass = OpClass.INT_ALU
+    srcs: tuple[int, ...] = field(default=())
+    dst: int | None = None
+    value: int = 0
+    mem_addr: int | None = None
+    mem_size: int = 8
+    taken: bool = False
+    target: int = 0
+    dst_is_fp: bool = False
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-flow µop (conditional or not)."""
+        return self.op_class in _CTRL_CLASSES
+
+    @property
+    def is_cond_branch(self) -> bool:
+        """True only for conditional branches."""
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class is OpClass.STORE
+
+    @property
+    def produces_value(self) -> bool:
+        """True when the µop writes an architectural register.
+
+        Only these µops are *eligible* for value prediction: the paper
+        predicts "every µ-op producing a register explicitly used by
+        subsequent µ-ops" and explicitly excludes predicting branches
+        themselves.
+        """
+        return self.dst is not None and not self.is_branch
+
+    def predictor_key(self) -> int:
+        """The (PC, µop-index) mixing key used to index value predictors."""
+        return ((self.pc << 2) ^ self.uop_index) & ((1 << 64) - 1)

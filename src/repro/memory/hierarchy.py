@@ -1,0 +1,100 @@
+"""Two-level cache hierarchy + DRAM, wired per Table 2.
+
+``MemoryHierarchy`` is the single entry point the pipeline uses for data
+and instruction accesses.  It returns *data-ready cycles*; the pipeline
+derives load-to-use latencies from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.dram import DRAMModel
+from repro.memory.prefetcher import StridePrefetcher
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Timing outcome of one memory access."""
+
+    ready_cycle: int
+    l1_hit: bool
+    l2_hit: bool
+
+
+@dataclass
+class HierarchyConfig:
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="L1I", size_bytes=32 * 1024, ways=4, hit_latency=1, mshrs=64
+        )
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="L1D", size_bytes=32 * 1024, ways=4, hit_latency=2, mshrs=64
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="L2", size_bytes=2 * 1024 * 1024, ways=16, hit_latency=12, mshrs=64
+        )
+    )
+    prefetch_degree: int = 8
+    prefetch_distance: int = 1
+
+
+class MemoryHierarchy:
+    def __init__(self, config: HierarchyConfig | None = None):
+        self.config = config if config is not None else HierarchyConfig()
+        self.l1i = Cache(self.config.l1i)
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.dram = DRAMModel()
+        self.prefetcher = StridePrefetcher(
+            degree=self.config.prefetch_degree,
+            distance=self.config.prefetch_distance,
+        )
+        self._last_access: AccessResult | None = None
+
+    # -- internal fill path ------------------------------------------------
+
+    def _l2_fill(self, line_addr: int, cycle: int) -> int:
+        return self.dram.read(line_addr, cycle)
+
+    def _l1_fill(self, pc: int):
+        """Build an L1-miss handler that goes to L2 and trains the prefetcher."""
+
+        def handler(line_addr: int, cycle: int) -> int:
+            before = (self.l2.hits, self.l2.misses)
+            ready = self.l2.access(line_addr, cycle, self._l2_fill)
+            self._l2_was_hit = self.l2.hits > before[0]
+            for pf_addr in self.prefetcher.observe(pc, line_addr):
+                # Prefetches fill the L2 with DRAM-like latency; they do not
+                # consume MSHRs in this model (documented simplification).
+                self.l2.install_prefetch(pf_addr, cycle + self.dram.base_latency)
+            return ready
+
+        return handler
+
+    # -- public API ----------------------------------------------------------
+
+    def load(self, pc: int, addr: int, cycle: int) -> AccessResult:
+        """Data load at *cycle*; returns data-ready timing."""
+        self._l2_was_hit = True
+        before = (self.l1d.hits, self.l1d.misses)
+        ready = self.l1d.access(addr, cycle, self._l1_fill(pc))
+        l1_hit = self.l1d.hits > before[0]
+        result = AccessResult(ready_cycle=ready, l1_hit=l1_hit, l2_hit=self._l2_was_hit)
+        self._last_access = result
+        return result
+
+    def store(self, pc: int, addr: int, cycle: int) -> AccessResult:
+        """Stores allocate on write; completion is not on the critical path
+        (write buffers drain in the background) but the line movement is."""
+        return self.load(pc, addr, cycle)
+
+    def fetch(self, pc: int, cycle: int) -> int:
+        """Instruction fetch: returns the cycle the fetch group is available."""
+        self._l2_was_hit = True
+        return self.l1i.access(pc, cycle, self._l1_fill(pc))

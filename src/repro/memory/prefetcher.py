@@ -1,0 +1,50 @@
+"""Stride prefetcher at the L2 (Table 2: "Stride prefetcher, degree 8,
+distance 1").
+
+A PC-indexed reference prediction table detects constant-stride access
+streams; once a stream is confirmed, the prefetcher pushes ``degree`` lines
+ahead of the demand access into the L2.
+"""
+
+from __future__ import annotations
+
+from repro.util.hashing import table_index
+
+
+class StridePrefetcher:
+    def __init__(self, table_entries: int = 256, degree: int = 8, distance: int = 1):
+        if table_entries & (table_entries - 1):
+            raise ValueError("prefetch table entries must be a power of two")
+        self.degree = degree
+        self.distance = distance
+        self._index_bits = table_entries.bit_length() - 1
+        self._pcs = [-1] * table_entries
+        self._last_addr = [0] * table_entries
+        self._stride = [0] * table_entries
+        self._conf = [0] * table_entries
+        self.issued = 0
+        self.useful_hint = 0
+
+    def observe(self, pc: int, addr: int) -> list[int]:
+        """Observe one demand access; return line addresses to prefetch."""
+        idx = table_index(pc, self._index_bits)
+        if self._pcs[idx] != pc:
+            self._pcs[idx] = pc
+            self._last_addr[idx] = addr
+            self._stride[idx] = 0
+            self._conf[idx] = 0
+            return []
+        stride = addr - self._last_addr[idx]
+        prefetches: list[int] = []
+        if stride != 0 and stride == self._stride[idx]:
+            if self._conf[idx] < 3:
+                self._conf[idx] += 1
+        elif stride != self._stride[idx]:
+            self._conf[idx] = max(0, self._conf[idx] - 1)
+        if self._conf[idx] >= 2 and stride:
+            base = addr + self.distance * stride
+            prefetches = [base + i * stride for i in range(self.degree)]
+            self.issued += len(prefetches)
+        self._stride[idx] = stride
+        self._last_addr[idx] = addr
+        return prefetches

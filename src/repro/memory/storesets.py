@@ -1,0 +1,78 @@
+"""Store Sets memory dependence predictor (Chrysos & Emer [5]).
+
+Table 2: "1K-SSID/LFST Store Sets".  Loads and stores that have conflicted
+in the past are placed in a common *store set*; a load predicted dependent
+waits for the last in-flight store of its set instead of issuing blindly
+out of order.
+
+Two tables:
+
+* SSIT — Store Set ID Table, indexed by instruction PC, holds the set id;
+* LFST — Last Fetched Store Table, indexed by set id, holds the sequence
+  number of the most recent in-flight store of that set.
+"""
+
+from __future__ import annotations
+
+from repro.util.hashing import table_index
+
+
+class StoreSets:
+    def __init__(self, ssit_entries: int = 1024, lfst_entries: int = 1024):
+        if ssit_entries & (ssit_entries - 1) or lfst_entries & (lfst_entries - 1):
+            raise ValueError("table sizes must be powers of two")
+        self._ssit_bits = ssit_entries.bit_length() - 1
+        self.lfst_entries = lfst_entries
+        self._ssit: dict[int, int] = {}
+        self._lfst: dict[int, int] = {}  # ssid -> store seq
+        self._next_ssid = 0
+        self.violations_trained = 0
+
+    def _ssit_index(self, pc: int) -> int:
+        return table_index(pc, self._ssit_bits)
+
+    def predicted_store(self, load_pc: int) -> int | None:
+        """Sequence number of the in-flight store this load should wait for."""
+        ssid = self._ssit.get(self._ssit_index(load_pc))
+        if ssid is None:
+            return None
+        return self._lfst.get(ssid)
+
+    def store_fetched(self, store_pc: int, seq: int) -> None:
+        """A store enters the window: it becomes its set's last store."""
+        ssid = self._ssit.get(self._ssit_index(store_pc))
+        if ssid is not None:
+            self._lfst[ssid] = seq
+
+    def store_retired(self, store_pc: int, seq: int) -> None:
+        """Invalidate the LFST entry if this store still owns it."""
+        ssid = self._ssit.get(self._ssit_index(store_pc))
+        if ssid is not None and self._lfst.get(ssid) == seq:
+            del self._lfst[ssid]
+
+    def train_violation(self, load_pc: int, store_pc: int) -> None:
+        """A memory-order violation merges both µops into one store set."""
+        self.violations_trained += 1
+        load_idx = self._ssit_index(load_pc)
+        store_idx = self._ssit_index(store_pc)
+        load_ssid = self._ssit.get(load_idx)
+        store_ssid = self._ssit.get(store_idx)
+        if load_ssid is None and store_ssid is None:
+            ssid = self._next_ssid
+            self._next_ssid = (self._next_ssid + 1) % self.lfst_entries
+            self._ssit[load_idx] = ssid
+            self._ssit[store_idx] = ssid
+        elif load_ssid is None:
+            self._ssit[load_idx] = store_ssid
+        elif store_ssid is None:
+            self._ssit[store_idx] = load_ssid
+        else:
+            # Both already have sets: merge into the smaller id (the paper's
+            # "declarative" merge rule).
+            winner = min(load_ssid, store_ssid)
+            self._ssit[load_idx] = winner
+            self._ssit[store_idx] = winner
+
+    def flush_inflight(self) -> None:
+        """Pipeline squash: no stores remain in flight."""
+        self._lfst.clear()

@@ -1,0 +1,102 @@
+"""Core configuration mirroring Table 2 of the paper.
+
+"4GHz, 8-wide superscalar, out-of-order processor with a latency of 19
+cycles.  We chose a slow front-end (15 cycles) coupled to a swift back-end
+(4 cycles) to obtain a realistic misprediction penalty."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.uop import OpClass
+
+
+class RecoveryMode(enum.Enum):
+    """Value misprediction recovery mechanisms compared in the paper."""
+
+    #: Pipeline squashing at commit time (Section 3.1.1): cheap hardware,
+    #: high per-event penalty (~40-50 cycles).
+    SQUASH_COMMIT = "squash"
+    #: Idealistic 0-cycle selective reissue (Section 7.2.1): dependents are
+    #: replayed for free when the correct value shows up.
+    SELECTIVE_REISSUE = "reissue"
+
+
+@dataclass(slots=True)
+class FUTiming:
+    """Latency/occupancy of one functional-unit pool."""
+
+    units: int
+    latency: int
+    pipelined: bool = True
+
+    @property
+    def occupancy(self) -> int:
+        return 1 if self.pipelined else self.latency
+
+
+@dataclass
+class CoreConfig:
+    """Structural parameters of the simulated core (Table 2 defaults)."""
+
+    # Front end.
+    fetch_width: int = 8
+    max_taken_per_cycle: int = 2
+    frontend_depth: int = 15  # fetch -> dispatch, in cycles
+    fetch_queue: int = 128  # decoupling buffer: fetch stalls when dispatch backs up
+    decode_redirect_depth: int = 5  # BTB-miss redirect resolved at decode
+    redirect_extra: int = 2  # squash/redirect bubble on top of refill
+    # Window.
+    rob_entries: int = 256
+    iq_entries: int = 128
+    lq_entries: int = 48
+    sq_entries: int = 48
+    int_prf: int = 256
+    fp_prf: int = 256
+    arch_regs: int = 32
+    # Back end.
+    issue_width: int = 8
+    commit_width: int = 8
+    backend_depth: int = 4  # complete -> commit, in cycles
+    # Functional units (Table 2: 8 ALU(1c), 4 MulDiv(3c/25c*), 8 FP(3c),
+    # 4 FPMulDiv(5c/10c*), 4 Ld/Str; * = not pipelined).
+    fu: dict = field(
+        default_factory=lambda: {
+            OpClass.INT_ALU: FUTiming(units=8, latency=1),
+            OpClass.INT_MUL: FUTiming(units=4, latency=3),
+            OpClass.INT_DIV: FUTiming(units=4, latency=25, pipelined=False),
+            OpClass.FP_ADD: FUTiming(units=8, latency=3),
+            OpClass.FP_MUL: FUTiming(units=4, latency=5),
+            OpClass.FP_DIV: FUTiming(units=4, latency=10, pipelined=False),
+            OpClass.LOAD: FUTiming(units=4, latency=1),
+            OpClass.STORE: FUTiming(units=4, latency=1),
+            OpClass.BRANCH: FUTiming(units=8, latency=1),
+            OpClass.JUMP: FUTiming(units=8, latency=1),
+            OpClass.CALL: FUTiming(units=8, latency=1),
+            OpClass.RET: FUTiming(units=8, latency=1),
+            OpClass.NOP: FUTiming(units=8, latency=1),
+        }
+    )
+    # Value prediction plumbing (Section 4).  The paper's simulations do
+    # NOT throttle prediction writes ("We assume that the predictor can
+    # deliver as many predictions as requested", Section 7.2); the finite
+    # write-port configuration exists for the Section 4 cost analysis and
+    # as an ablation (None = unlimited, the paper's methodology).
+    vp_write_ports: int | None = None
+    # Which µops are predicted: "all" register-producing µops (the paper's
+    # methodology: "we do not try to estimate criticality or focus only on
+    # load instructions") or "loads" only, as earlier VP work did — exposed
+    # as an ablation.
+    vp_scope: str = "all"
+    recovery: RecoveryMode = RecoveryMode.SQUASH_COMMIT
+    # How far ahead (in µops) the commit-time validator looks when deciding
+    # whether a wrong used prediction was consumed before execution
+    # ("squashing can be avoided if the predicted result has not been used
+    # yet").  Bounded by the ROB size.
+    squash_lookahead: int = 256
+
+    def min_branch_penalty(self) -> int:
+        """Minimum branch misprediction penalty (Table 2 targets 20)."""
+        return self.redirect_extra + self.frontend_depth + 3

@@ -1,0 +1,480 @@
+"""Cycle-level trace-driven model of the Table 2 out-of-order core.
+
+The model processes the correct-path µop trace in program order and computes
+for every µop its fetch, dispatch, issue, completion and commit cycles,
+subject to:
+
+* fetch bandwidth (8 µops/cycle, 2 taken branches/cycle, L1I);
+* the 15-cycle in-order front end and 4-cycle in-order back end;
+* finite ROB/IQ/LQ/SQ/physical-register resources;
+* issue width and functional-unit pools (non-pipelined dividers);
+* the cache hierarchy, DRAM, store-set-predicted memory dependences;
+* TAGE branch mispredictions (resolved at execute) and BTB misses
+  (resolved at decode);
+* value prediction: predictions are made at fetch, written into the PRF
+  through a limited number of extra write ports before dispatch
+  (Section 4), validated at commit, and recovered via either pipeline
+  squashing at commit or idealistic selective reissue (Section 7.2.1).
+
+Scheduling model notes (see DESIGN.md for the full discussion):
+
+* This is a *one-pass interval scheduler*: each µop's stage times are
+  computed once, in program order.  Wrong-path execution is not simulated;
+  mispredictions charge their redirect/refill latency instead.
+* The squash-avoidance rule ("squashing can be avoided if the predicted
+  result has not been used yet") is evaluated with a bounded lookahead that
+  estimates whether the first in-window consumer would have issued before
+  the producer executed.  The estimate errs toward squashing, which is the
+  conservative direction for the paper's claims.
+* Value predictors are trained *at commit*: training events are queued with
+  their commit cycle and applied only once the fetch clock passes that
+  cycle, so closely-spaced occurrences of an instruction see stale tables
+  and confidence counters, exactly like in-flight occurrences in hardware
+  (this reproduces the tight-loop repeated-misprediction pathology of
+  Section 7.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.branch.unit import BranchUnit
+from repro.isa.trace import Trace
+from repro.isa.uop import OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.storesets import StoreSets
+from repro.pipeline.config import CoreConfig, RecoveryMode
+from repro.pipeline.resources import (
+    BandwidthLimiter,
+    InOrderWindow,
+    OutOfOrderWindow,
+    UnitPool,
+)
+from repro.pipeline.result import SimResult
+from repro.predictors.base import ValuePredictor
+from repro.predictors.oracle import OraclePredictor
+
+_LINE_SHIFT = 6  # 64-byte I-cache lines
+
+
+class CoreModel:
+    """One simulation instance; use :func:`simulate` for the common path."""
+
+    def __init__(
+        self,
+        config: CoreConfig | None = None,
+        predictor: ValuePredictor | None = None,
+    ):
+        self.config = config if config is not None else CoreConfig()
+        self.predictor = predictor
+        self.memory = MemoryHierarchy()
+        self.branch_unit = BranchUnit()
+        self.store_sets = StoreSets()
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        warmup: int = 0,
+        workload: str | None = None,
+        stage_trace: list | None = None,
+    ) -> SimResult:
+        """Run the model over *trace*.
+
+        When *stage_trace* is a list, one ``(seq, fetch, dispatch, ready,
+        issue, complete, commit)`` tuple per µop is appended to it — the
+        hook the timing tests and debugging tools use.
+        """
+        cfg = self.config
+        predictor = self.predictor
+        is_oracle = isinstance(predictor, OraclePredictor)
+        reissue = cfg.recovery is RecoveryMode.SELECTIVE_REISSUE
+
+        result = SimResult(
+            workload=workload if workload is not None else trace.name,
+            predictor=predictor.name if predictor is not None else "none",
+            recovery=cfg.recovery.value,
+        )
+
+        # Bandwidth resources.
+        fetch_bw = BandwidthLimiter(cfg.fetch_width)
+        taken_bw = BandwidthLimiter(cfg.max_taken_per_cycle)
+        dispatch_bw = BandwidthLimiter(cfg.fetch_width)
+        issue_bw = BandwidthLimiter(cfg.issue_width)
+        commit_bw = BandwidthLimiter(cfg.commit_width)
+        vp_write_bw = (
+            BandwidthLimiter(cfg.vp_write_ports)
+            if cfg.vp_write_ports is not None
+            else None
+        )
+        # Window resources.
+        fetch_queue = InOrderWindow(cfg.fetch_queue)
+        rob = InOrderWindow(cfg.rob_entries)
+        iq = OutOfOrderWindow(cfg.iq_entries)
+        lq = InOrderWindow(cfg.lq_entries)
+        sq = InOrderWindow(cfg.sq_entries)
+        int_prf = InOrderWindow(max(1, cfg.int_prf - cfg.arch_regs))
+        fp_prf = InOrderWindow(max(1, cfg.fp_prf - cfg.arch_regs))
+        # Functional units.
+        pools = {
+            OpClass.INT_ALU: UnitPool(cfg.fu[OpClass.INT_ALU].units),
+            OpClass.INT_MUL: UnitPool(cfg.fu[OpClass.INT_MUL].units),
+            OpClass.FP_ADD: UnitPool(cfg.fu[OpClass.FP_ADD].units),
+            OpClass.FP_MUL: UnitPool(cfg.fu[OpClass.FP_MUL].units),
+            OpClass.LOAD: UnitPool(cfg.fu[OpClass.LOAD].units),
+        }
+        pools[OpClass.INT_DIV] = pools[OpClass.INT_MUL]
+        pools[OpClass.FP_DIV] = pools[OpClass.FP_MUL]
+        pools[OpClass.STORE] = pools[OpClass.LOAD]
+        for cls in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RET, OpClass.NOP):
+            pools[cls] = pools[OpClass.INT_ALU]
+        fu_timing = cfg.fu
+
+        # Per-architectural-register operand state over the flat 64-entry
+        # register space (0-31 integer, 32-63 floating point): the cycle the
+        # value is ready for a consumer to issue, and (for reissue-mode IQ
+        # pressure) the commit cycle of a speculatively-predicted producer.
+        reg_ready = [0] * 64
+        reg_spec_commit = [0] * 64
+
+        # In-flight stores for dependence/forwarding checks:
+        # (seq, start, end, data_ready, commit, pc).
+        store_buffer: deque = deque(maxlen=cfg.sq_entries + 16)
+
+        # Commit-time predictor training queue: (commit_cycle, key, actual,
+        # prediction-record).
+        train_queue: deque = deque()
+
+        branch_unit = self.branch_unit
+        store_sets = self.store_sets
+        memory = self.memory
+        ctx = branch_unit.context
+        uops = trace.uops
+        n_uops = len(uops)
+        frontend = cfg.frontend_depth
+        backend = cfg.backend_depth
+        redirect_extra = cfg.redirect_extra
+        fetch_width = cfg.fetch_width
+        lookahead_cap = cfg.squash_lookahead
+
+        fetch_resume = 0
+        line_ready = 0
+        current_line = -1
+        last_fetch = 0
+        last_dispatch = 0
+        last_commit = 0
+        measure_start_commit = None
+        vp_all_scope = cfg.vp_scope == "all"
+
+        for i, uop in enumerate(uops):
+            measured = i >= warmup
+            op = uop.op_class
+
+            # ---- Fetch ------------------------------------------------
+            pc_line = uop.pc >> _LINE_SHIFT
+            if pc_line != current_line:
+                current_line = pc_line
+                line_ready = memory.fetch(uop.pc, max(fetch_resume, last_fetch))
+                if line_ready <= max(fetch_resume, last_fetch) + 1:
+                    line_ready = 0  # L1I hit: no extra constraint
+            # The fetch queue provides front-end backpressure: fetch stalls
+            # once `fetch_queue` µops are in flight between fetch and
+            # dispatch, instead of racing arbitrarily far ahead.
+            fetch = fetch_queue.acquire(max(fetch_resume, line_ready))
+            fetch = fetch_bw.grant(fetch)
+            if uop.is_branch and uop.taken:
+                fetch = taken_bw.grant(fetch)
+            last_fetch = fetch
+
+            # ---- Apply predictor trainings that have committed by now --
+            while train_queue and train_queue[0][0] <= fetch:
+                __, key, actual, pred_rec = train_queue.popleft()
+                predictor.train(key, actual, pred_rec)
+
+            # ---- Branch prediction (and shared history maintenance) ----
+            branch_redirect = None
+            if uop.is_branch:
+                bres = branch_unit.process(uop)
+                if bres.direction_mispredict:
+                    branch_redirect = "execute"
+                elif bres.target_mispredict:
+                    branch_redirect = "decode"
+
+            # ---- Value prediction at fetch ------------------------------
+            prediction = None
+            vp_used = False
+            vp_wrong = False
+            eligible = (
+                predictor is not None
+                and uop.produces_value
+                and (vp_all_scope or op is OpClass.LOAD)
+            )
+            if eligible:
+                if is_oracle:
+                    predictor.set_actual(uop.value)
+                prediction = predictor.lookup(uop.predictor_key(), ctx)
+                if prediction is not None:
+                    predictor.speculate(uop.predictor_key(), prediction)
+                    if prediction.confident:
+                        vp_used = True
+                        vp_wrong = prediction.value != uop.value
+                if measured:
+                    result.vp_eligible += 1
+                    if prediction is not None:
+                        result.vp_predicted += 1
+                    if vp_used:
+                        result.vp_used += 1
+                        if vp_wrong:
+                            result.vp_wrong_used += 1
+                        else:
+                            result.vp_correct_used += 1
+
+            # ---- Dispatch (rename + window allocation) ------------------
+            dispatch = fetch + frontend
+            if vp_used and vp_write_bw is not None:
+                # Predicted value written to the PRF through a limited
+                # number of extra write ports before dispatch (Section 4
+                # ablation; unlimited in the paper's baseline methodology).
+                write_cycle = vp_write_bw.grant(fetch + 2)
+                if write_cycle + 1 > dispatch:
+                    if measured:
+                        result.vp_write_delayed += 1
+                    dispatch = write_cycle + 1
+            # Dispatch is in order: a window-stalled µop stalls everything
+            # behind it.
+            dispatch = max(dispatch, last_dispatch)
+            dispatch = rob.acquire(dispatch)
+            dispatch = iq.acquire(dispatch)
+            if op is OpClass.LOAD:
+                dispatch = lq.acquire(dispatch)
+            elif op is OpClass.STORE:
+                dispatch = sq.acquire(dispatch)
+            if uop.dst is not None:
+                prf = fp_prf if uop.dst_is_fp else int_prf
+                dispatch = prf.acquire(dispatch)
+            dispatch = dispatch_bw.grant(dispatch)
+            last_dispatch = dispatch
+            fetch_queue.push_release(dispatch)
+
+            # ---- Operand readiness --------------------------------------
+            ready = dispatch + 1
+            spec_until = 0
+            for src in uop.srcs:
+                src_ready = reg_ready[src]
+                if src_ready > ready:
+                    ready = src_ready
+                sc = reg_spec_commit[src]
+                if sc > spec_until:
+                    spec_until = sc
+
+            # Store-set-predicted memory dependence: the load waits for the
+            # predicted store's data.
+            wait_store_seq = -1
+            if op is OpClass.LOAD:
+                predicted = store_sets.predicted_store(uop.pc)
+                if predicted is not None:
+                    for entry in reversed(store_buffer):
+                        if entry[0] == predicted:
+                            if entry[3] > ready:
+                                ready = entry[3]
+                            wait_store_seq = predicted
+                            break
+
+            # ---- Issue + execute ----------------------------------------
+            timing = fu_timing[op]
+            start = pools[op].grant(ready, timing.occupancy)
+            issue = issue_bw.grant(start)
+            complete = issue + timing.latency
+
+            if op is OpClass.LOAD:
+                complete = self._load_timing(
+                    uop, issue, store_buffer, wait_store_seq, result, measured
+                )
+                if complete < 0:  # memory-order violation: squash younger
+                    complete = -complete
+                    fetch_resume = max(fetch_resume, complete + redirect_extra)
+            elif op is OpClass.STORE:
+                complete = issue + 1
+
+            # ---- Commit ---------------------------------------------------
+            commit = commit_bw.grant(max(complete + backend, last_commit))
+            last_commit = commit
+
+            # ---- Branch redirect -----------------------------------------
+            if branch_redirect == "execute":
+                fetch_resume = max(fetch_resume, complete + redirect_extra)
+                if measured:
+                    result.branch_mispredicts += 1
+            elif branch_redirect == "decode":
+                fetch_resume = max(fetch_resume, fetch + cfg.decode_redirect_depth)
+                if measured:
+                    result.btb_redirects += 1
+            if measured and uop.is_cond_branch:
+                result.cond_branches += 1
+
+            # ---- Value prediction outcome --------------------------------
+            consumer_ready = complete
+            producer_spec_commit = 0
+            if eligible and prediction is not None:
+                if vp_used and not vp_wrong:
+                    # Correct used prediction: consumers got the value from
+                    # the PRF at their own dispatch; no operand constraint.
+                    # Under selective reissue, value-speculative consumers
+                    # hold their IQ entry until the producer executes and
+                    # validates (Section 7.2.1's IQ pressure).
+                    consumer_ready = 0
+                    producer_spec_commit = complete if reissue else 0
+                elif vp_used and vp_wrong:
+                    if reissue:
+                        # Idealistic selective reissue: dependents replay
+                        # and see the correct value at execution time.
+                        consumer_ready = complete
+                        producer_spec_commit = complete
+                        if measured:
+                            result.vp_reissues += 1
+                    else:
+                        consumed_early = self._consumer_before(
+                            uops, i, fetch, complete, frontend, fetch_width, lookahead_cap
+                        )
+                        if consumed_early:
+                            # Squash at commit: flush everything younger.
+                            fetch_resume = max(fetch_resume, commit + redirect_extra)
+                            predictor.on_squash()
+                            store_sets.flush_inflight()
+                            store_buffer.clear()
+                            if measured:
+                                result.vp_squashes += 1
+                        else:
+                            # Prediction replaced at execute before any
+                            # consumer issued: no recovery needed.
+                            if measured:
+                                result.vp_harmless_wrong += 1
+                train_queue.append((commit, uop.predictor_key(), uop.value, prediction))
+            elif eligible:
+                # Lookup missed: still train (allocation path).
+                train_queue.append((commit, uop.predictor_key(), uop.value, None))
+
+            # ---- Register state update ------------------------------------
+            if uop.dst is not None:
+                reg_ready[uop.dst] = consumer_ready
+                reg_spec_commit[uop.dst] = producer_spec_commit
+
+            # ---- Window releases ------------------------------------------
+            rob.push_release(commit)
+            iq.push_release(max(issue, spec_until) if reissue else issue)
+            if op is OpClass.LOAD:
+                lq.push_release(commit)
+            elif op is OpClass.STORE:
+                sq.push_release(commit)
+                store_buffer.append(
+                    (uop.seq, uop.mem_addr, uop.mem_addr + uop.mem_size, complete, commit, uop.pc)
+                )
+                store_sets.store_fetched(uop.pc, uop.seq)
+                memory.store(uop.pc, uop.mem_addr, commit)
+            if uop.dst is not None:
+                (fp_prf if uop.dst_is_fp else int_prf).push_release(commit)
+
+            # ---- Measurement bookkeeping ----------------------------------
+            if stage_trace is not None:
+                stage_trace.append((uop.seq, fetch, dispatch, ready, issue, complete, commit))
+            if measured:
+                if measure_start_commit is None:
+                    # Cycles are counted commit-to-commit over the
+                    # measurement region, immune to transient front-end
+                    # backlog at the region boundary.
+                    measure_start_commit = commit
+                result.n_uops += 1
+
+        # Flush remaining trainings (end of trace).
+        while train_queue:
+            __, key, actual, pred_rec = train_queue.popleft()
+            predictor.train(key, actual, pred_rec)
+
+        if measure_start_commit is None:
+            measure_start_commit = 0
+        result.cycles = max(1, last_commit - measure_start_commit)
+        result.rob_stalls = rob.stalls
+        result.iq_stalls = iq.stalls
+        result.l1d_misses = memory.l1d.misses
+        result.l1d_accesses = memory.l1d.hits + memory.l1d.misses
+        result.l2_misses = memory.l2.misses
+        result.l2_accesses = memory.l2.hits + memory.l2.misses
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _load_timing(
+        self,
+        uop,
+        issue: int,
+        store_buffer: deque,
+        waited_seq: int,
+        result: SimResult,
+        measured: bool,
+    ) -> int:
+        """Completion cycle of a load; negative => violation squash at |value|."""
+        addr = uop.mem_addr
+        end = addr + uop.mem_size
+        agu_done = issue + 1
+        # Youngest older in-flight store overlapping this access.
+        for entry in reversed(store_buffer):
+            seq, s_start, s_end, data_ready, s_commit, s_pc = entry
+            if s_commit <= agu_done:
+                continue  # already retired when the load executes
+            if s_start < end and addr < s_end:
+                if data_ready <= agu_done or seq == waited_seq:
+                    # Store-to-load forwarding from the store queue.
+                    return max(agu_done, data_ready) + 1
+                # The load executed before an older conflicting store it was
+                # not predicted to depend on: memory-order violation.
+                self.store_sets.train_violation(uop.pc, s_pc)
+                if measured:
+                    result.mem_violations += 1
+                return -(data_ready + 2)
+        access = self.memory.load(uop.pc, addr, agu_done)
+        return access.ready_cycle
+
+    @staticmethod
+    def _consumer_before(
+        uops,
+        i: int,
+        fetch: int,
+        complete: int,
+        frontend: int,
+        fetch_width: int,
+        cap: int,
+    ) -> bool:
+        """Would any consumer of uops[i].dst have issued before *complete*?
+
+        Estimates the earliest possible issue cycle (its dispatch) of the
+        first in-window reader of the destination register, stopping at the
+        first redefinition.  See module docstring for the approximation
+        direction.
+        """
+        uop = uops[i]
+        dst = uop.dst
+        n = len(uops)
+        limit = min(n, i + 1 + cap)
+        for j in range(i + 1, limit):
+            est_dispatch = fetch + (j - i + fetch_width - 1) // fetch_width + frontend
+            if est_dispatch >= complete:
+                return False  # every later consumer dispatches after execute
+            other = uops[j]
+            if dst in other.srcs:
+                return True
+            if other.dst == dst:
+                return False  # redefined before any read
+        return False
+
+
+def simulate(
+    trace: Trace,
+    predictor: ValuePredictor | None = None,
+    config: CoreConfig | None = None,
+    warmup: int = 0,
+    workload: str | None = None,
+) -> SimResult:
+    """Convenience wrapper: build a :class:`CoreModel` and run *trace*."""
+    model = CoreModel(config=config, predictor=predictor)
+    return model.run(trace, warmup=warmup, workload=workload)

@@ -1,0 +1,121 @@
+"""Resource contention primitives for the scheduling model.
+
+Three flavours of hardware resource appear in the core:
+
+* :class:`BandwidthLimiter` — a per-cycle throughput cap (fetch width,
+  rename/dispatch width, issue width, commit width, PRF prediction write
+  ports);
+* :class:`UnitPool` — k units that each serve one operation at a time
+  (functional units; non-pipelined dividers occupy their unit for the full
+  latency);
+* :class:`InOrderWindow` / :class:`OutOfOrderWindow` — finite buffers whose
+  entries are reclaimed in allocation order (ROB, LQ, SQ, physical register
+  writers) or out of order (the issue queue, freed at issue).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+
+class BandwidthLimiter:
+    """At most *width* grants per cycle; requests may arrive out of order."""
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        self._counts: dict[int, int] = {}
+
+    def grant(self, earliest: int) -> int:
+        """Return the first cycle >= *earliest* with a free slot, claiming it."""
+        counts = self._counts
+        cycle = earliest
+        while counts.get(cycle, 0) >= self.width:
+            cycle += 1
+        counts[cycle] = counts.get(cycle, 0) + 1
+        return cycle
+
+    def used_at(self, cycle: int) -> int:
+        return self._counts.get(cycle, 0)
+
+
+class UnitPool:
+    """*units* servers; each grant occupies a server for *occupancy* cycles."""
+
+    def __init__(self, units: int):
+        if units <= 0:
+            raise ValueError("need at least one unit")
+        self._free = [0] * units
+
+    def grant(self, earliest: int, occupancy: int = 1) -> int:
+        """Return the start cycle on the earliest-available unit."""
+        start = max(earliest, self._free[0])
+        heapq.heapreplace(self._free, start + occupancy)
+        return start
+
+
+class InOrderWindow:
+    """A buffer of *size* entries allocated and reclaimed in program order.
+
+    Protocol: ``acquire(earliest)`` returns the earliest cycle an entry is
+    available (waiting for the oldest occupant when full); the caller must
+    then ``push_release(t)`` with the cycle its own entry will be reclaimed
+    (its commit time).  Release times must be non-decreasing, which holds
+    for commit times by construction.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        self.size = size
+        self._releases: deque[int] = deque()
+        self.stalls = 0
+
+    def acquire(self, earliest: int) -> int:
+        if len(self._releases) < self.size:
+            return earliest
+        oldest = self._releases.popleft()
+        if oldest > earliest:
+            self.stalls += 1
+            return oldest
+        return earliest
+
+    def push_release(self, release_cycle: int) -> None:
+        self._releases.append(release_cycle)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._releases)
+
+
+class OutOfOrderWindow:
+    """A buffer whose entries free out of order (the issue queue).
+
+    When full, the next allocation waits for the *earliest-releasing*
+    occupant, which a min-heap yields directly.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        self.size = size
+        self._releases: list[int] = []
+        self.stalls = 0
+
+    def acquire(self, earliest: int) -> int:
+        if len(self._releases) < self.size:
+            return earliest
+        soonest = heapq.heappop(self._releases)
+        if soonest > earliest:
+            self.stalls += 1
+            return soonest
+        return earliest
+
+    def push_release(self, release_cycle: int) -> None:
+        heapq.heappush(self._releases, release_cycle)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._releases)

@@ -1,0 +1,76 @@
+"""Simulation result record and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimResult:
+    """Aggregate outcome of one simulation run (measurement region only)."""
+
+    workload: str = ""
+    predictor: str = "none"
+    recovery: str = "squash"
+    n_uops: int = 0
+    cycles: int = 0
+    # Value prediction accounting.
+    vp_eligible: int = 0
+    vp_predicted: int = 0      # lookups that returned a prediction
+    vp_used: int = 0           # confident predictions consumed by the pipeline
+    vp_correct_used: int = 0
+    vp_wrong_used: int = 0
+    vp_squashes: int = 0       # squash-at-commit events
+    vp_harmless_wrong: int = 0  # wrong but replaced before any consumer issued
+    vp_reissues: int = 0       # wrong predictions repaired by selective reissue
+    vp_write_delayed: int = 0  # predictions delayed by PRF write-port pressure
+    # Branch prediction accounting.
+    cond_branches: int = 0
+    branch_mispredicts: int = 0
+    btb_redirects: int = 0
+    mem_violations: int = 0
+    # Memory accounting.
+    l1d_misses: int = 0
+    l1d_accesses: int = 0
+    l2_misses: int = 0
+    l2_accesses: int = 0
+    # Structure pressure.
+    rob_stalls: int = 0
+    iq_stalls: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.n_uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of VP-eligible µops whose prediction was used."""
+        return self.vp_used / self.vp_eligible if self.vp_eligible else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of used predictions that were correct."""
+        return self.vp_correct_used / self.vp_used if self.vp_used else 1.0
+
+    @property
+    def branch_mpki(self) -> float:
+        return 1000.0 * self.branch_mispredicts / self.n_uops if self.n_uops else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC ratio against a baseline run of the same workload."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"speedup compares the same workload; got {self.workload!r} "
+                f"vs {baseline.workload!r}"
+            )
+        if not baseline.ipc:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.workload:<12} {self.predictor:<14} IPC {self.ipc:5.2f}  "
+            f"cov {self.coverage:5.1%}  acc {self.accuracy:7.3%}  "
+            f"squash {self.vp_squashes:5d}  brMPKI {self.branch_mpki:5.2f}"
+        )

@@ -1,0 +1,108 @@
+"""Common interface for all value predictors.
+
+The simulator drives predictors through four hooks mirroring the hardware
+pipeline placement argued for in the paper (prediction in the in-order
+front-end, training/validation in the in-order back-end):
+
+* :meth:`ValuePredictor.lookup` — at fetch, with the current speculative
+  branch/path history.
+* :meth:`ValuePredictor.speculate` — right after lookup, lets predictors
+  maintain *speculative* per-instruction state (last value for Stride, local
+  value history for FCM) for in-flight occurrences.
+* :meth:`ValuePredictor.train` — at commit, with the architectural result.
+* :meth:`ValuePredictor.on_squash` — on any pipeline flush; speculative
+  state is discarded.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+KILOBYTE = 1000  # Table 1 reports sizes with 1 KB = 1000 bytes.
+
+#: Full tag width used by the paper's untagged-component predictors
+#: (Table 1 lists "Full (51)").
+FULL_TAG_BITS = 51
+
+
+@dataclass(slots=True)
+class PredictionContext:
+    """Front-end context available at prediction time.
+
+    Attributes:
+        ghist: Global conditional-branch outcome history; bit 0 is the most
+            recent outcome.
+        path: Hashed path history (low-order PC bits of recent branches).
+        ghist_length: Number of valid bits currently in ``ghist``.
+    """
+
+    ghist: int = 0
+    path: int = 0
+    ghist_length: int = 0
+
+    def push_branch(self, taken: bool, pc: int, max_bits: int = 256) -> None:
+        """Record one conditional-branch outcome and its path contribution."""
+        self.ghist = ((self.ghist << 1) | (1 if taken else 0)) & ((1 << max_bits) - 1)
+        self.path = ((self.path << 3) ^ (pc & 0xFFFF)) & ((1 << 32) - 1)
+        if self.ghist_length < max_bits:
+            self.ghist_length += 1
+
+    def snapshot(self) -> "PredictionContext":
+        return PredictionContext(self.ghist, self.path, self.ghist_length)
+
+
+@dataclass(slots=True)
+class Prediction:
+    """Outcome of one predictor lookup.
+
+    Attributes:
+        value: The predicted 64-bit value.
+        confident: True when the confidence counter is saturated; only then
+            does the pipeline consume the prediction.
+        payload: Opaque predictor-specific record carried from lookup to
+            train (table indices, provider component, pre-update history...).
+        source: Name of the component that produced the value (useful for
+            hybrid attribution and debugging).
+    """
+
+    value: int
+    confident: bool
+    payload: object = None
+    source: str = ""
+
+
+class ValuePredictor(abc.ABC):
+    """Abstract value predictor."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def lookup(self, key: int, ctx: PredictionContext) -> Prediction | None:
+        """Predict the value for predictor-key *key*; None when no entry hits."""
+
+    def speculate(self, key: int, prediction: Prediction | None) -> None:
+        """Update speculative fetch-time state after a lookup (optional)."""
+
+    @abc.abstractmethod
+    def train(self, key: int, actual: int, prediction: Prediction | None) -> None:
+        """Commit-time training with the architectural *actual* value.
+
+        *prediction* is the record returned by the matching ``lookup`` call
+        (or None if the lookup was never performed, e.g. during warm-up
+        fast-forward).
+        """
+
+    def on_squash(self) -> None:
+        """Discard speculative state after a pipeline flush (optional)."""
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total storage the predictor occupies, in bits (for Table 1)."""
+
+    def storage_kb(self) -> float:
+        """Storage in kilobytes, using the paper's 1 KB = 1000 B convention."""
+        return self.storage_bits() / 8 / KILOBYTE
+
+    def describe(self) -> str:
+        return self.name

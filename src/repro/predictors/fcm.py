@@ -1,0 +1,288 @@
+"""Finite Context Method predictors (Sazeides & Smith [18]).
+
+An order-n FCM is a two-level structure: the Value History Table (VHT),
+indexed by instruction address, records the last n values produced by the
+instruction (compressed to 16 bits each); the hash of that history indexes
+the Value Prediction Table (VPT), which holds the actual predicted value.
+
+The paper evaluates a generic order-4 FCM (``o4-FCM``, Table 1: 8 K-entry
+VHT at 120.8 KB + 8 K-entry VPT at 67.6 KB) with these specifics from
+Section 7.1.1:
+
+* the hash folds (XORs) each 64-bit history value onto itself to get 16
+  bits, then XORs the most recent with the second most recent left-shifted
+  by one bit, and so on;
+* the resulting index is XORed with the PC to break VPT conflicts;
+* the VPT keeps a 2-bit hysteresis counter to limit replacements (value
+  replaced only when the counter is 0);
+* the 3-bit confidence counter lives in the VHT entry.
+
+D-FCM (Goeman et al. [9]) stores strides instead of values in both levels
+and adds the last value, tightly coupling FCM with Stride prediction.
+
+FCM predictors must track the n last *speculative* occurrences per
+instruction for in-flight instances (Section 3.2), which makes real
+implementations problematic; we model the idealised behaviour the paper
+simulates ("o4-FCM is — unrealistically — able to deliver predictions for
+two occurrences ... fetched in two consecutive cycles").
+"""
+
+from __future__ import annotations
+
+from repro.core.confidence import ConfidencePolicy
+from repro.predictors.base import (
+    FULL_TAG_BITS,
+    Prediction,
+    PredictionContext,
+    ValuePredictor,
+)
+from repro.util.bits import MASK64, fold_value
+from repro.util.hashing import table_index
+
+_VALUE_BITS = 64
+_FOLD_BITS = 16
+_HYSTERESIS_MAX = 3
+
+
+def fcm_history_hash(history: tuple[int, ...], pc_key: int, index_bits: int) -> int:
+    """The o4-FCM VPT index: staggered XOR of folded values, XORed with PC.
+
+    ``history[0]`` is the most recent folded value.
+    """
+    acc = 0
+    for age, folded in enumerate(history):
+        acc ^= (folded << age) & 0xFFFFF
+    acc ^= pc_key & 0xFFFFF
+    return fold_value(acc, index_bits)
+
+
+class FCMPredictor(ValuePredictor):
+    """Order-n Finite Context Method predictor with paper-faithful hashing."""
+
+    name = "o4-FCM"
+
+    def __init__(
+        self,
+        entries: int = 8192,
+        order: int = 4,
+        confidence: ConfidencePolicy | None = None,
+        tag_bits: int = FULL_TAG_BITS,
+        vpt_entries: int | None = None,
+    ):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("VHT entry count must be a positive power of two")
+        if order <= 0:
+            raise ValueError("FCM order must be positive")
+        self.entries = entries
+        self.order = order
+        self.index_bits = entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.confidence = confidence if confidence is not None else ConfidencePolicy()
+        self.vpt_entries = vpt_entries if vpt_entries is not None else entries
+        if self.vpt_entries & (self.vpt_entries - 1):
+            raise ValueError("VPT entry count must be a power of two")
+        self.vpt_index_bits = self.vpt_entries.bit_length() - 1
+        # First level: VHT.
+        self._tags: list[int | None] = [None] * entries
+        self._hist: list[tuple[int, ...]] = [(0,) * order] * entries
+        self._conf = [0] * entries
+        # Second level: VPT.
+        self._vpt_value = [0] * self.vpt_entries
+        self._vpt_hyst = [0] * self.vpt_entries
+        # Speculative local histories for in-flight occurrences, reclaimed
+        # once every in-flight instance has committed (or on squash).
+        self._spec_hist: dict[int, tuple[int, ...]] = {}
+        self._inflight: dict[int, int] = {}
+        self.name = f"o{order}-FCM"
+
+    # -- helpers ---------------------------------------------------------
+
+    def _vht_index(self, key: int) -> int:
+        return table_index(key, self.index_bits)
+
+    def _current_history(self, idx: int) -> tuple[int, ...]:
+        return self._spec_hist.get(idx, self._hist[idx])
+
+    # -- ValuePredictor interface ----------------------------------------
+
+    def lookup(self, key: int, ctx: PredictionContext) -> Prediction | None:
+        idx = self._vht_index(key)
+        if self._tags[idx] != key:
+            return None
+        history = self._current_history(idx)
+        vpt_idx = fcm_history_hash(history, key, self.vpt_index_bits)
+        return Prediction(
+            value=self._vpt_value[vpt_idx],
+            confident=self.confidence.is_confident(self._conf[idx]),
+            payload=(idx, vpt_idx, history),
+            source=self.name,
+        )
+
+    def speculate(self, key: int, prediction: Prediction | None) -> None:
+        if prediction is None:
+            return
+        idx, _, history = prediction.payload
+        folded = fold_value(prediction.value, _FOLD_BITS)
+        self._spec_hist[idx] = (folded,) + history[: self.order - 1]
+        self._inflight[idx] = self._inflight.get(idx, 0) + 1
+
+    def _release_spec(self, idx: int, prediction: Prediction | None) -> None:
+        if prediction is None:
+            return
+        live = self._inflight.get(idx, 0) - 1
+        if live <= 0:
+            self._inflight.pop(idx, None)
+            self._spec_hist.pop(idx, None)
+        else:
+            self._inflight[idx] = live
+
+    def train(self, key: int, actual: int, prediction: Prediction | None) -> None:
+        idx = self._vht_index(key)
+        self._release_spec(idx, prediction)
+        folded_actual = fold_value(actual, _FOLD_BITS)
+        if self._tags[idx] != key:
+            self._tags[idx] = key
+            self._hist[idx] = (folded_actual,) + (0,) * (self.order - 1)
+            self._conf[idx] = 0
+            self._spec_hist.pop(idx, None)
+            self._inflight.pop(idx, None)
+            return
+        # Validate the prediction actually emitted at fetch when available;
+        # otherwise reconstruct what the committed history would have
+        # predicted.  The VPT update below always uses the committed
+        # history (training happens in commit order).
+        history = self._hist[idx]
+        vpt_idx = fcm_history_hash(history, key, self.vpt_index_bits)
+        if prediction is not None:
+            predicted = prediction.value
+        else:
+            predicted = self._vpt_value[vpt_idx]
+        if predicted == actual:
+            self._conf[idx] = self.confidence.on_correct(self._conf[idx])
+        else:
+            self._conf[idx] = self.confidence.on_incorrect(self._conf[idx])
+            # Resynchronise the speculative history: it was extended with a
+            # wrong prediction, and chaining further instances off it would
+            # never recover (hardware repairs local histories with the
+            # executed value at writeback).
+            self._spec_hist.pop(idx, None)
+        # VPT update with 2-bit hysteresis: replace only when it reaches 0.
+        if self._vpt_value[vpt_idx] == actual:
+            if self._vpt_hyst[vpt_idx] < _HYSTERESIS_MAX:
+                self._vpt_hyst[vpt_idx] += 1
+        elif self._vpt_hyst[vpt_idx] == 0:
+            self._vpt_value[vpt_idx] = actual
+            self._vpt_hyst[vpt_idx] = 1
+        else:
+            self._vpt_hyst[vpt_idx] -= 1
+        # Shift the committed local history.
+        self._hist[idx] = (folded_actual,) + history[: self.order - 1]
+
+    def on_squash(self) -> None:
+        self._spec_hist.clear()
+        self._inflight.clear()
+
+    def storage_bits(self) -> int:
+        # Storage follows Table 1: the VHT entry holds the folded history
+        # (order x 16 bits) plus tag plus the 3-bit confidence counter; the
+        # VPT entry holds the 64-bit value plus 2-bit hysteresis.
+        vht_entry = self.order * _FOLD_BITS + self.tag_bits + self.confidence.storage_bits()
+        vpt_entry = _VALUE_BITS + 2
+        return self.entries * vht_entry + self.vpt_entries * vpt_entry
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} VHT {self.entries} x {self.order}, "
+            f"VPT {self.vpt_entries}, {self.confidence.describe()}"
+        )
+
+
+class DifferentialFCMPredictor(FCMPredictor):
+    """D-FCM [9]: the history and the VPT store strides, not values.
+
+    Implemented as the paper describes the concept (Section 2): "tracking
+    differences between values in the local history and the VPT instead of
+    values themselves", combining FCM pattern detection with Stride-style
+    final addition.  The paper leaves a VTAGE-vs-D-FCM comparison to future
+    work; we provide D-FCM as an extension for exactly that ablation.
+    """
+
+    name = "o4-D-FCM"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._last = [0] * self.entries
+        self.name = f"o{self.order}-D-FCM"
+        self._spec_last: dict[int, int] = {}
+
+    def lookup(self, key: int, ctx: PredictionContext) -> Prediction | None:
+        idx = self._vht_index(key)
+        if self._tags[idx] != key:
+            return None
+        history = self._current_history(idx)
+        vpt_idx = fcm_history_hash(history, key, self.vpt_index_bits)
+        last = self._spec_last.get(idx, self._last[idx])
+        value = (last + self._vpt_value[vpt_idx]) & MASK64
+        return Prediction(
+            value=value,
+            confident=self.confidence.is_confident(self._conf[idx]),
+            payload=(idx, vpt_idx, history),
+            source=self.name,
+        )
+
+    def speculate(self, key: int, prediction: Prediction | None) -> None:
+        if prediction is None:
+            return
+        idx, _, history = prediction.payload
+        last = self._spec_last.get(idx, self._last[idx])
+        stride = (prediction.value - last) & MASK64
+        folded = fold_value(stride, _FOLD_BITS)
+        self._spec_hist[idx] = (folded,) + history[: self.order - 1]
+        self._spec_last[idx] = prediction.value
+        self._inflight[idx] = self._inflight.get(idx, 0) + 1
+
+    def train(self, key: int, actual: int, prediction: Prediction | None) -> None:
+        idx = self._vht_index(key)
+        self._release_spec(idx, prediction)
+        if idx not in self._inflight:
+            self._spec_last.pop(idx, None)
+        if self._tags[idx] != key:
+            self._tags[idx] = key
+            self._hist[idx] = (0,) * self.order
+            self._conf[idx] = 0
+            self._last[idx] = actual
+            self._spec_hist.pop(idx, None)
+            self._spec_last.pop(idx, None)
+            self._inflight.pop(idx, None)
+            return
+        stride = (actual - self._last[idx]) & MASK64
+        history = self._hist[idx]
+        vpt_idx = fcm_history_hash(history, key, self.vpt_index_bits)
+        if prediction is not None:
+            predicted = prediction.value
+        else:
+            predicted = (self._last[idx] + self._vpt_value[vpt_idx]) & MASK64
+        if predicted == actual:
+            self._conf[idx] = self.confidence.on_correct(self._conf[idx])
+        else:
+            self._conf[idx] = self.confidence.on_incorrect(self._conf[idx])
+            # Resynchronise the speculative chain with architectural state.
+            self._spec_hist.pop(idx, None)
+            self._spec_last.pop(idx, None)
+        if self._vpt_value[vpt_idx] == stride:
+            if self._vpt_hyst[vpt_idx] < _HYSTERESIS_MAX:
+                self._vpt_hyst[vpt_idx] += 1
+        elif self._vpt_hyst[vpt_idx] == 0:
+            self._vpt_value[vpt_idx] = stride
+            self._vpt_hyst[vpt_idx] = 1
+        else:
+            self._vpt_hyst[vpt_idx] -= 1
+        self._hist[idx] = (fold_value(stride, _FOLD_BITS),) + history[: self.order - 1]
+        self._last[idx] = actual
+
+    def on_squash(self) -> None:
+        super().on_squash()
+        self._spec_last.clear()
+
+    def storage_bits(self) -> int:
+        return super().storage_bits() + self.entries * _VALUE_BITS

@@ -1,0 +1,42 @@
+"""Oracle (perfect) value predictor.
+
+Used for the Figure 3 experiment: "We first run simulations to assess the
+maximum benefit that could be obtained by a perfect value predictor."  The
+oracle predicts every eligible µop's actual value with full confidence, so
+performance is limited only by fetch bandwidth, the memory hierarchy, branch
+prediction and structure sizes.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import Prediction, PredictionContext, ValuePredictor
+
+
+class OraclePredictor(ValuePredictor):
+    """Always predicts correctly.
+
+    The simulator primes the oracle with the actual value of the µop being
+    looked up via :meth:`set_actual` (a trace-driven simulator knows it);
+    this keeps the :class:`ValuePredictor` interface uniform.
+    """
+
+    name = "Oracle"
+
+    def __init__(self):
+        self._next_value = 0
+
+    def set_actual(self, value: int) -> None:
+        """Prime the oracle with the actual result of the next lookup."""
+        self._next_value = value
+
+    def lookup(self, key: int, ctx: PredictionContext) -> Prediction | None:
+        return Prediction(value=self._next_value, confident=True, source=self.name)
+
+    def train(self, key: int, actual: int, prediction: Prediction | None) -> None:
+        return
+
+    def storage_bits(self) -> int:
+        return 0
+
+    def describe(self) -> str:
+        return "Oracle (perfect prediction)"

@@ -1,0 +1,52 @@
+"""Fixed-width integer helpers.
+
+All architectural values in the model are 64-bit unsigned integers, exactly
+like the ``val`` fields of the predictor entries in the paper (Section 6).
+Python integers are unbounded, so every arithmetic result that represents a
+register value must be masked back to 64 bits.
+"""
+
+MASK16 = (1 << 16) - 1
+MASK32 = (1 << 32) - 1
+MASK64 = (1 << 64) - 1
+
+
+def to_unsigned64(value: int) -> int:
+    """Wrap an arbitrary Python integer into the unsigned 64-bit domain."""
+    return value & MASK64
+
+
+def to_signed64(value: int) -> int:
+    """Interpret the low 64 bits of *value* as a two's complement integer."""
+    value &= MASK64
+    if value >= 1 << 63:
+        return value - (1 << 64)
+    return value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low *bits* bits of *value* to a Python integer."""
+    if bits <= 0:
+        raise ValueError("bit width must be positive")
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+def fold_value(value: int, width: int = 16) -> int:
+    """Fold a 64-bit value onto itself down to *width* bits by XOR.
+
+    This is the compression step used by the o4-FCM predictor's history hash
+    (Section 7.1.1): "we fold (XOR) each 64-bit history value upon itself to
+    obtain a 16-bit index".
+    """
+    if width <= 0:
+        raise ValueError("fold width must be positive")
+    value = to_unsigned64(value)
+    folded = 0
+    mask = (1 << width) - 1
+    while value:
+        folded ^= value & mask
+        value >>= width
+    return folded

@@ -1,0 +1,50 @@
+"""Index and tag hashing shared by the predictors.
+
+The paper indexes every value predictor with the macro-op PC mixed with the
+µop index (Section 7.2): "we XOR the PC of the x86 instruction left-shifted
+by two with the µ-op number inside the x86 instruction".  Tagged components
+additionally need a short partial tag computed from the same information
+(Section 6 / Table 1).
+"""
+
+from repro.util.bits import MASK64
+
+# Large odd multipliers for avalanche mixing; the exact constants are not
+# architectural, they only need to spread indices across the tables.
+_MIX1 = 0x9E3779B97F4A7C15
+_MIX2 = 0xC2B2AE3D27D4EB4F
+
+
+def mix_pc_uop(pc: int, uop_index: int) -> int:
+    """Combine macro-op PC and µop number into a single predictor key."""
+    return ((pc << 2) ^ uop_index) & MASK64
+
+
+def _scramble(key: int) -> int:
+    key &= MASK64
+    key ^= key >> 33
+    key = (key * _MIX1) & MASK64
+    key ^= key >> 29
+    key = (key * _MIX2) & MASK64
+    key ^= key >> 32
+    return key
+
+
+def table_index(key: int, index_bits: int, extra: int = 0) -> int:
+    """Hash *key* (optionally mixed with *extra* context) into a table index."""
+    if index_bits <= 0:
+        raise ValueError("index width must be positive")
+    return _scramble(key ^ (extra * _MIX2)) & ((1 << index_bits) - 1)
+
+
+def tag_hash(key: int, tag_bits: int, extra: int = 0) -> int:
+    """Compute a partial tag of *tag_bits* bits, decorrelated from the index.
+
+    The tag uses a different slice of the scrambled key than
+    :func:`table_index` so that entries aliasing on the index still usually
+    differ in their tags, as required for TAGE-style tagged components.
+    """
+    if tag_bits <= 0:
+        raise ValueError("tag width must be positive")
+    scrambled = _scramble((key * 0x2545F4914F6CDD1D) ^ (extra * _MIX1))
+    return (scrambled >> 17) & ((1 << tag_bits) - 1)

@@ -1,0 +1,57 @@
+"""Linear feedback shift register used as the FPC pseudo-random source.
+
+Section 5 of the paper: "The used pseudo-random generator is a simple Linear
+Feedback Shift Register."  We implement a Galois LFSR with a maximal-length
+tap polynomial so the bit stream has period ``2**width - 1``.
+"""
+
+# Maximal-length Galois tap masks (taps for x^w + ... + 1 polynomials).
+_TAPS = {
+    8: 0xB8,
+    16: 0xB400,
+    24: 0xE10000,
+    32: 0xA3000000,
+}
+
+
+class GaloisLFSR:
+    """A Galois linear feedback shift register.
+
+    The register never reaches the all-zero state: a zero seed is promoted
+    to 1, matching hardware practice where the LFSR is initialised to a
+    non-zero reset value.
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0xACE1):
+        if width not in _TAPS:
+            raise ValueError(f"unsupported LFSR width {width}; pick from {sorted(_TAPS)}")
+        self.width = width
+        self._taps = _TAPS[width]
+        self._mask = (1 << width) - 1
+        self.state = (seed & self._mask) or 1
+
+    def step(self) -> int:
+        """Advance one step and return the new register state."""
+        lsb = self.state & 1
+        self.state >>= 1
+        if lsb:
+            self.state ^= self._taps
+        return self.state
+
+    def next_bits(self, n: int) -> int:
+        """Return *n* pseudo-random bits (the low bits of the next state)."""
+        if not 0 < n <= self.width:
+            raise ValueError(f"can draw between 1 and {self.width} bits")
+        return self.step() & ((1 << n) - 1)
+
+    def chance(self, probability_log2: int) -> bool:
+        """Return True with probability ``1 / 2**probability_log2``.
+
+        ``probability_log2 == 0`` always succeeds, matching the leading
+        probability of 1 in the paper's FPC probability vectors.
+        """
+        if probability_log2 < 0:
+            raise ValueError("probability exponent must be >= 0")
+        if probability_log2 == 0:
+            return True
+        return self.next_bits(probability_log2) == 0

@@ -1,0 +1,31 @@
+"""Synthetic SPEC-substitute workloads (see DESIGN.md, substitution table).
+
+The paper evaluates on SimPoint slices of 19 SPEC CPU2000/2006 benchmarks
+(Table 3).  Without SPEC binaries or gem5, we generate µop traces from
+small kernels that compute real value streams calibrated per benchmark;
+:mod:`repro.workloads.catalog` maps each Table 3 entry to its kernel.
+"""
+
+from repro.workloads.builder import TraceBuilder
+from repro.workloads.catalog import (
+    ALL_WORKLOADS,
+    FP_WORKLOADS,
+    INT_WORKLOADS,
+    WORKLOADS,
+    WorkloadSpec,
+    build_trace,
+    clear_trace_cache,
+    get_spec,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "FP_WORKLOADS",
+    "INT_WORKLOADS",
+    "TraceBuilder",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_trace",
+    "clear_trace_cache",
+    "get_spec",
+]

@@ -1,0 +1,258 @@
+"""Kernel VM: a structured builder for synthetic µop traces.
+
+Workload kernels are small Python programs that *actually compute* their
+values — loop counters advance, arrays are read, hashes are mixed — and
+emit one :class:`~repro.isa.uop.MicroOp` per architectural operation.  The
+resulting trace therefore carries genuine value streams (strides, repeats,
+control-flow-correlated patterns) for the predictors and genuine
+dependences/addresses for the timing model.
+
+The builder handles the bookkeeping a compiler would:
+
+* stable PCs: each static operation is identified by a string label, so
+  every dynamic execution of "the same instruction" shares its PC (and
+  hence its predictor entries);
+* register allocation: value names map to architectural registers (ids
+  0-31 integer, 32-63 floating point) with LRU reuse;
+* a bump allocator for data regions, and a call stack for CALL/RET pairs
+  so the return-address stack sees realistic behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.trace import Trace
+from repro.isa.uop import FP_REG_BASE, MicroOp, OpClass
+from repro.util.bits import MASK64
+
+_CODE_BASE = 0x0040_0000
+_DATA_BASE = 0x1000_0000
+
+
+class TraceBuilder:
+    """Emit µops for one synthetic workload."""
+
+    def __init__(self, name: str, seed: int = 1):
+        self.trace = Trace(name=name)
+        self.rng = random.Random(seed)
+        self._labels: dict[str, int] = {}
+        self._next_pc = _CODE_BASE
+        self._heap = _DATA_BASE
+        # name -> register id; LRU order for reuse.
+        self._int_regs: dict[str, int] = {}
+        self._fp_regs: dict[str, int] = {}
+        self._call_stack: list[int] = []
+
+    # -- infrastructure ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of µops emitted so far."""
+        return len(self.trace)
+
+    def pc_of(self, label: str) -> int:
+        """Stable PC for a static operation label."""
+        pc = self._labels.get(label)
+        if pc is None:
+            pc = self._next_pc
+            self._labels[label] = pc
+            self._next_pc += 4
+        return pc
+
+    def alloc(self, nbytes: int, align: int = 64) -> int:
+        """Bump-allocate a data region; returns its base address."""
+        self._heap = (self._heap + align - 1) & ~(align - 1)
+        base = self._heap
+        self._heap += nbytes
+        return base
+
+    def _reg(self, name: str, fp: bool = False) -> int:
+        pool = self._fp_regs if fp else self._int_regs
+        reg = pool.get(name)
+        if reg is not None:
+            # Refresh LRU position.
+            del pool[name]
+            pool[name] = reg
+            return reg
+        if len(pool) >= 32:
+            # Reuse the register of the least recently touched name.
+            victim = next(iter(pool))
+            reg = pool.pop(victim)
+        else:
+            reg = len(pool) + (FP_REG_BASE if fp else 0)
+        pool[name] = reg
+        return reg
+
+    def _srcs(self, names, fp: bool = False) -> tuple[int, ...]:
+        return tuple(self._reg(n, fp) for n in names)
+
+    def _emit(self, uop: MicroOp) -> MicroOp:
+        self.trace.append(uop)
+        return uop
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def imm(self, label: str, dst: str, value: int) -> None:
+        """Load-immediate / constant generation (INT ALU, no sources)."""
+        self._emit(
+            MicroOp(
+                seq=self.n,
+                pc=self.pc_of(label),
+                op_class=OpClass.INT_ALU,
+                srcs=(),
+                dst=self._reg(dst),
+                value=value & MASK64,
+            )
+        )
+
+    def alu(self, label: str, dst: str, srcs, value: int) -> None:
+        """Single-cycle integer operation."""
+        self._emit(
+            MicroOp(
+                seq=self.n,
+                pc=self.pc_of(label),
+                op_class=OpClass.INT_ALU,
+                srcs=self._srcs(srcs),
+                dst=self._reg(dst),
+                value=value & MASK64,
+            )
+        )
+
+    def mul(self, label: str, dst: str, srcs, value: int) -> None:
+        self._op(label, dst, srcs, value, OpClass.INT_MUL)
+
+    def div(self, label: str, dst: str, srcs, value: int) -> None:
+        self._op(label, dst, srcs, value, OpClass.INT_DIV)
+
+    def _op(self, label, dst, srcs, value, cls, fp: bool = False) -> None:
+        self._emit(
+            MicroOp(
+                seq=self.n,
+                pc=self.pc_of(label),
+                op_class=cls,
+                srcs=self._srcs(srcs, fp),
+                dst=self._reg(dst, fp),
+                value=value & MASK64,
+                dst_is_fp=fp,
+            )
+        )
+
+    # -- floating point --------------------------------------------------------
+
+    def fadd(self, label: str, dst: str, srcs, value: int) -> None:
+        self._op(label, dst, srcs, value, OpClass.FP_ADD, fp=True)
+
+    def fmul(self, label: str, dst: str, srcs, value: int) -> None:
+        self._op(label, dst, srcs, value, OpClass.FP_MUL, fp=True)
+
+    def fdiv(self, label: str, dst: str, srcs, value: int) -> None:
+        self._op(label, dst, srcs, value, OpClass.FP_DIV, fp=True)
+
+    # -- memory -------------------------------------------------------------
+
+    def load(
+        self,
+        label: str,
+        dst: str,
+        addr: int,
+        value: int,
+        addr_srcs=(),
+        fp: bool = False,
+        size: int = 8,
+    ) -> None:
+        self._emit(
+            MicroOp(
+                seq=self.n,
+                pc=self.pc_of(label),
+                op_class=OpClass.LOAD,
+                srcs=self._srcs(addr_srcs),
+                dst=self._reg(dst, fp),
+                value=value & MASK64,
+                mem_addr=addr & MASK64,
+                mem_size=size,
+                dst_is_fp=fp,
+            )
+        )
+
+    def store(
+        self,
+        label: str,
+        addr: int,
+        data_src: str | None = None,
+        addr_srcs=(),
+        fp_data: bool = False,
+        size: int = 8,
+    ) -> None:
+        srcs = list(self._srcs(addr_srcs))
+        if data_src is not None:
+            srcs.append(self._reg(data_src, fp_data))
+        self._emit(
+            MicroOp(
+                seq=self.n,
+                pc=self.pc_of(label),
+                op_class=OpClass.STORE,
+                srcs=tuple(srcs),
+                dst=None,
+                mem_addr=addr & MASK64,
+                mem_size=size,
+            )
+        )
+
+    # -- control flow -----------------------------------------------------------
+
+    def branch(self, label: str, taken: bool, target_label: str, srcs=()) -> None:
+        """Conditional branch; *target_label* names the taken destination."""
+        self._emit(
+            MicroOp(
+                seq=self.n,
+                pc=self.pc_of(label),
+                op_class=OpClass.BRANCH,
+                srcs=self._srcs(srcs),
+                dst=None,
+                taken=taken,
+                target=self.pc_of(target_label),
+            )
+        )
+
+    def jump(self, label: str, target_label: str) -> None:
+        self._emit(
+            MicroOp(
+                seq=self.n,
+                pc=self.pc_of(label),
+                op_class=OpClass.JUMP,
+                srcs=(),
+                dst=None,
+                taken=True,
+                target=self.pc_of(target_label),
+            )
+        )
+
+    def call(self, label: str, target_label: str) -> None:
+        pc = self.pc_of(label)
+        self._call_stack.append(pc + 4)
+        self._emit(
+            MicroOp(
+                seq=self.n,
+                pc=pc,
+                op_class=OpClass.CALL,
+                srcs=(),
+                dst=None,
+                taken=True,
+                target=self.pc_of(target_label),
+            )
+        )
+
+    def ret(self, label: str) -> None:
+        target = self._call_stack.pop() if self._call_stack else 0
+        self._emit(
+            MicroOp(
+                seq=self.n,
+                pc=self.pc_of(label),
+                op_class=OpClass.RET,
+                srcs=(),
+                dst=None,
+                taken=True,
+                target=target,
+            )
+        )

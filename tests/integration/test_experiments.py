@@ -1,0 +1,99 @@
+"""Integration tests for the table/figure drivers (small slices)."""
+
+import pytest
+
+from repro.experiments import figures, tables
+from repro.workloads.catalog import ALL_WORKLOADS
+
+TINY = dict(workloads=("gzip", "crafty", "wupwise"), n_uops=5000, warmup=2500)
+
+
+class TestTables:
+    def test_table1_storage_within_one_percent_of_paper(self):
+        for row in tables.table1_rows():
+            assert row.relative_error < 0.01, row
+
+    def test_table1_renders(self):
+        text = tables.table1()
+        assert "VTAGE" in text and "120.8" in text
+
+    def test_table2_mentions_core_structures(self):
+        text = tables.table2()
+        assert "256-entry ROB" in text
+        assert "128-entry IQ" in text
+        assert "TAGE" in text
+
+    def test_table3_lists_19_benchmarks(self):
+        text = tables.table3()
+        assert "INT: 12" in text and "FP: 7" in text
+        assert "429.mcf" in text and "464.h264ref" in text
+
+
+class TestFigure1:
+    def test_back_to_back_fractions(self):
+        fig = figures.figure1(workloads=ALL_WORKLOADS, n_uops=4000)
+        fractions = fig.series["fractions"]
+        assert len(fractions) == 19
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())
+        # The Section 3.2 observation: a noticeable fraction of eligible
+        # µops are back-to-back in at least some benchmarks.
+        assert fig.series["max"] > 0.01
+
+    def test_critical_path_table(self):
+        fig = figures.figure1(workloads=("gzip",), n_uops=2000)
+        assert "VTAGE" in fig.text
+        assert "o4-FCM" in fig.text
+
+
+class TestFigure3:
+    def test_oracle_speedups_above_one(self):
+        fig = figures.figure3(**TINY)
+        series = fig.series["speedup"]
+        assert all(s >= 0.95 for s in series.values())
+        assert max(series.values()) > 1.2
+
+
+class TestFigure4and5:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return figures.figure4(**TINY)
+
+    def test_grid_structure(self, fig4):
+        assert set(fig4.series) == {"baseline", "FPC"}
+        for scheme_data in fig4.series.values():
+            assert set(scheme_data) == set(figures.SINGLE_SCHEMES)
+
+    def test_fpc_improves_accuracy(self, fig4):
+        for scheme in figures.SINGLE_SCHEMES:
+            for workload in TINY["workloads"]:
+                base_acc = fig4.series["baseline"][scheme]["accuracy"][workload]
+                fpc_acc = fig4.series["FPC"][scheme]["accuracy"][workload]
+                assert fpc_acc >= base_acc - 0.01
+
+    def test_fpc_costs_coverage(self, fig4):
+        drops = 0
+        for scheme in figures.SINGLE_SCHEMES:
+            for workload in TINY["workloads"]:
+                base_cov = fig4.series["baseline"][scheme]["coverage"][workload]
+                fpc_cov = fig4.series["FPC"][scheme]["coverage"][workload]
+                if fpc_cov < base_cov:
+                    drops += 1
+        assert drops > 0
+
+    def test_figure5_reissue_grid(self):
+        fig5 = figures.figure5(workloads=("crafty",), n_uops=5000, warmup=2500)
+        assert "reissue" in fig5.text.lower() or "Figure 5" in fig5.text
+
+
+class TestFigure6and7:
+    def test_figure6_series(self):
+        fig = figures.figure6(workloads=("gzip", "crafty"), n_uops=5000, warmup=2500)
+        assert set(fig.series) == {"baseline", "FPC"}
+        assert "coverage" in fig.series["FPC"]
+
+    def test_figure7_hybrid_coverage_geq_components(self):
+        fig = figures.figure7(workloads=("hmmer",), n_uops=8000, warmup=4000)
+        hybrid_cov = fig.series["vtage-2dstride"]["coverage"]["hmmer"]
+        vtage_cov = fig.series["vtage"]["coverage"]["hmmer"]
+        stride_cov = fig.series["2dstride"]["coverage"]["hmmer"]
+        assert hybrid_cov >= max(vtage_cov, stride_cov) - 0.05

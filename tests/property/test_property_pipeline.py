@@ -1,0 +1,119 @@
+"""Property-based tests for timing-model and resource invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.trace import Trace
+from repro.isa.uop import MicroOp, OpClass
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import CoreModel
+from repro.pipeline.resources import BandwidthLimiter, InOrderWindow, UnitPool
+from repro.predictors.oracle import OraclePredictor
+
+op_classes = st.sampled_from([
+    OpClass.INT_ALU, OpClass.INT_MUL, OpClass.FP_ADD, OpClass.LOAD,
+    OpClass.STORE, OpClass.BRANCH,
+])
+
+
+@st.composite
+def random_traces(draw):
+    n = draw(st.integers(min_value=20, max_value=250))
+    uops = []
+    for i in range(n):
+        cls = draw(op_classes)
+        is_store = cls is OpClass.STORE
+        is_branch = cls is OpClass.BRANCH
+        srcs = tuple(draw(st.lists(st.integers(0, 15), max_size=2)))
+        dst = None if (is_store or is_branch) else draw(st.integers(0, 15))
+        uops.append(
+            MicroOp(
+                seq=i,
+                pc=0x400 + (draw(st.integers(0, 31)) * 4),
+                op_class=cls,
+                srcs=srcs,
+                dst=dst,
+                value=draw(st.integers(0, 1 << 32)),
+                mem_addr=(draw(st.integers(0, 1 << 20)) * 8)
+                if cls in (OpClass.LOAD, OpClass.STORE) else None,
+                taken=draw(st.booleans()) if is_branch else False,
+                target=0x400,
+            )
+        )
+    return Trace(uops, name="random")
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_traces())
+def test_stage_ordering_on_random_traces(trace):
+    """fetch <= dispatch <= issue <= complete <= commit for every µop, and
+    commits are monotone (in-order retirement)."""
+    stages = []
+    CoreModel(CoreConfig(), None).run(trace, stage_trace=stages)
+    last_commit = 0
+    for seq, fetch, dispatch, ready, issue, complete, commit in stages:
+        assert fetch <= dispatch <= issue <= complete <= commit
+        assert commit >= last_commit
+        last_commit = commit
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_traces())
+def test_oracle_never_slower_than_baseline(trace):
+    """A perfect predictor can only remove dependence stalls."""
+    base = CoreModel(CoreConfig(), None).run(trace)
+    oracle = CoreModel(CoreConfig(), OraclePredictor()).run(trace)
+    # Tiny traces have start-up noise; allow 2% slack.
+    assert oracle.cycles <= base.cycles * 1.02 + 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+       st.integers(1, 8))
+def test_bandwidth_limiter_respects_width(requests, width):
+    bw = BandwidthLimiter(width)
+    grants = [bw.grant(r) for r in requests]
+    per_cycle: dict[int, int] = {}
+    for wanted, got in zip(requests, grants):
+        assert got >= wanted
+        per_cycle[got] = per_cycle.get(got, 0) + 1
+    assert all(count <= width for count in per_cycle.values())
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=100),
+       st.integers(1, 4), st.integers(1, 30))
+def test_unit_pool_never_overlaps_units(requests, units, occupancy):
+    pool = UnitPool(units)
+    intervals = []
+    for wanted in sorted(requests):
+        start = pool.grant(wanted, occupancy)
+        assert start >= wanted
+        intervals.append((start, start + occupancy))
+    # At any instant, at most `units` intervals overlap.
+    events = []
+    for start, end in intervals:
+        events.append((start, 1))
+        events.append((end, -1))
+    active = 0
+    for __, delta in sorted(events, key=lambda e: (e[0], e[1])):
+        active += delta
+        assert active <= units
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 100)),
+                min_size=1, max_size=120),
+       st.integers(1, 16))
+def test_inorder_window_never_exceeds_capacity(ops, size):
+    """Simulate acquire/push pairs with monotone releases; occupancy of
+    not-yet-released entries never exceeds the window size."""
+    window = InOrderWindow(size)
+    release_clock = 0
+    active = 0
+    for earliest, delay in ops:
+        got = window.acquire(earliest)
+        assert got >= earliest
+        release_clock = max(release_clock + 1, got + delay)
+        window.push_release(release_clock)
+        assert window.occupancy <= size

@@ -1,0 +1,139 @@
+"""Property-based tests for predictor/counter invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidence import ConfidencePolicy, ForwardProbabilisticCounters
+from repro.core.vtage import VTAGEPredictor
+from repro.predictors.base import PredictionContext
+from repro.predictors.fcm import FCMPredictor
+from repro.predictors.lvp import LastValuePredictor
+from repro.predictors.stride import TwoDeltaStridePredictor
+from repro.util.bits import MASK64, fold_value
+from repro.util.lfsr import GaloisLFSR
+
+values64 = st.integers(min_value=0, max_value=MASK64)
+keys = st.integers(min_value=0, max_value=(1 << 51) - 1)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=300))
+def test_confidence_level_always_in_range(outcomes):
+    policy = ConfidencePolicy(bits=3)
+    level = 0
+    for correct in outcomes:
+        level = policy.on_correct(level) if correct else policy.on_incorrect(level)
+        assert 0 <= level <= policy.max_level
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=300),
+       st.integers(min_value=1, max_value=(1 << 16) - 1))
+def test_fpc_level_always_in_range(outcomes, seed):
+    policy = ForwardProbabilisticCounters.for_squash(lfsr=GaloisLFSR(seed=seed))
+    level = 0
+    for correct in outcomes:
+        level = policy.on_correct(level) if correct else policy.on_incorrect(level)
+        assert 0 <= level <= policy.max_level
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+def test_fpc_never_confident_right_after_misprediction(outcomes):
+    policy = ForwardProbabilisticCounters.for_squash()
+    level = policy.max_level
+    for correct in outcomes:
+        if not correct:
+            level = policy.on_incorrect(level)
+            assert not policy.is_confident(level)
+        else:
+            level = policy.on_correct(level)
+
+
+@given(st.integers(min_value=0, max_value=MASK64),
+       st.integers(min_value=1, max_value=32))
+def test_fold_value_stays_in_width(value, width):
+    assert 0 <= fold_value(value, width) < (1 << width)
+
+
+@given(st.integers(min_value=0, max_value=MASK64))
+def test_fold_value_16_is_xor_of_quarters(value):
+    parts = [(value >> (16 * i)) & 0xFFFF for i in range(4)]
+    expected = parts[0] ^ parts[1] ^ parts[2] ^ parts[3]
+    assert fold_value(value, 16) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(keys, values64), min_size=1, max_size=400))
+def test_lvp_confident_only_after_repetition(stream):
+    """LVP must never be confident about a (key, value) it has seen fewer
+    than max_level times in a row."""
+    lvp = LastValuePredictor(entries=64, confidence=ConfidencePolicy())
+    ctx = PredictionContext()
+    run_lengths: dict[tuple[int, int], int] = {}
+    for key, value in stream:
+        pred = lvp.lookup(key, ctx)
+        if pred is not None and pred.confident:
+            # Confidence requires at least max_level prior correct trains.
+            assert run_lengths.get((key, pred.value), 0) >= 7
+        lvp.train(key, value, pred)
+        previous = run_lengths.get((key, value), 0)
+        # Track consecutive repeats per key.
+        for other_key, other_value in list(run_lengths):
+            if other_key == key and other_value != value:
+                run_lengths[(other_key, other_value)] = 0
+        run_lengths[(key, value)] = previous + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(values64, min_size=1, max_size=300))
+def test_predictors_survive_arbitrary_streams(stream):
+    """No predictor may crash or corrupt its tables on any value stream."""
+    ctx = PredictionContext()
+    predictors = [
+        LastValuePredictor(entries=32),
+        TwoDeltaStridePredictor(entries=32),
+        FCMPredictor(entries=32, order=4, vpt_entries=64),
+        VTAGEPredictor(base_entries=64, tagged_entries=16),
+    ]
+    for i, value in enumerate(stream):
+        ctx.push_branch(value & 1 == 1, 0x40 + (i % 7) * 4)
+        for predictor in predictors:
+            pred = predictor.lookup(0x1234, ctx)
+            predictor.speculate(0x1234, pred)
+            predictor.train(0x1234, value, pred)
+            check = predictor.lookup(0x1234, ctx)
+            assert check is None or 0 <= check.value <= MASK64
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(values64, min_size=50, max_size=300),
+       st.integers(min_value=1, max_value=20))
+def test_speculative_state_reclaimed(stream, inflight):
+    """After any interleaving of speculate/train pairs, a squash plus full
+    training drain must leave no speculative state behind."""
+    stride = TwoDeltaStridePredictor(entries=32)
+    ctx = PredictionContext()
+    pending = []
+    for value in stream:
+        pred = stride.lookup(0x10, ctx)
+        stride.speculate(0x10, pred)
+        pending.append((value, pred))
+        if len(pending) > inflight:
+            actual, rec = pending.pop(0)
+            stride.train(0x10, actual, rec)
+    for actual, rec in pending:
+        stride.train(0x10, actual, rec)
+    assert not stride._spec_last
+    assert not stride._inflight
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.booleans(), min_size=10, max_size=500))
+def test_vtage_usefulness_bits_bounded(outcomes):
+    v = VTAGEPredictor(base_entries=64, tagged_entries=16)
+    ctx = PredictionContext()
+    for i, taken in enumerate(outcomes):
+        ctx.push_branch(taken, 0x99)
+        pred = v.lookup(0x40, ctx)
+        v.train(0x40, 111 if taken else 222, pred)
+    for comp in v.components:
+        assert all(u in (0, 1) for u in comp.useful)
+        assert all(0 <= c <= v.confidence.max_level for c in comp.conf)

@@ -1,0 +1,80 @@
+"""Unit tests for fixed-width integer helpers."""
+
+import pytest
+
+from repro.util.bits import (
+    MASK64,
+    fold_value,
+    sign_extend,
+    to_signed64,
+    to_unsigned64,
+)
+
+
+class TestToUnsigned64:
+    def test_identity_within_range(self):
+        assert to_unsigned64(42) == 42
+
+    def test_wraps_negative(self):
+        assert to_unsigned64(-1) == MASK64
+
+    def test_wraps_overflow(self):
+        assert to_unsigned64(1 << 64) == 0
+        assert to_unsigned64((1 << 64) + 5) == 5
+
+    def test_zero(self):
+        assert to_unsigned64(0) == 0
+
+
+class TestToSigned64:
+    def test_positive_unchanged(self):
+        assert to_signed64(7) == 7
+
+    def test_max_negative(self):
+        assert to_signed64(1 << 63) == -(1 << 63)
+
+    def test_minus_one(self):
+        assert to_signed64(MASK64) == -1
+
+    def test_roundtrip(self):
+        for value in (-5, -1, 0, 1, (1 << 62)):
+            assert to_signed64(to_unsigned64(value)) == value
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0b0101, 4) == 5
+
+    def test_negative(self):
+        assert sign_extend(0b1111, 4) == -1
+        assert sign_extend(0b1000, 4) == -8
+
+    def test_masks_upper_bits(self):
+        assert sign_extend(0xFF0F, 4) == -1
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+
+class TestFoldValue:
+    def test_small_value_identity(self):
+        assert fold_value(0x1234, 16) == 0x1234
+
+    def test_folds_upper_halves(self):
+        value = 0x0001_0002_0003_0004
+        assert fold_value(value, 16) == 0x0001 ^ 0x0002 ^ 0x0003 ^ 0x0004
+
+    def test_zero(self):
+        assert fold_value(0, 16) == 0
+
+    def test_result_fits_width(self):
+        for width in (1, 5, 13, 16, 32):
+            assert fold_value(0xDEADBEEFCAFEBABE, width) < (1 << width)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            fold_value(1, 0)
+
+    def test_wraps_input_to_64_bits(self):
+        assert fold_value(1 << 64, 16) == fold_value(0, 16)

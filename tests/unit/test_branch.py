@@ -1,0 +1,179 @@
+"""Unit tests for the branch substrate: TAGE, BTB, RAS, BranchUnit."""
+
+import random
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.tage import TAGEBranchPredictor, TAGEConfig, geometric_history_lengths
+from repro.branch.unit import BranchUnit
+from repro.isa.uop import MicroOp, OpClass
+from repro.predictors.base import PredictionContext
+
+
+class TestGeometricLengths:
+    def test_monotone_increasing(self):
+        lengths = geometric_history_lengths(4, 256, 12)
+        assert lengths == tuple(sorted(set(lengths)))
+        assert lengths[0] == 4
+        assert lengths[-1] == 256
+
+    def test_single_component(self):
+        assert geometric_history_lengths(5, 100, 1) == (5,)
+
+
+class TestTAGE:
+    def test_learns_biased_branch(self):
+        tage = TAGEBranchPredictor()
+        ctx = PredictionContext()
+        wrong = 0
+        for i in range(2000):
+            predicted, payload = tage.predict(0x4000, ctx)
+            taken = True
+            if predicted != taken and i > 100:
+                wrong += 1
+            tage.update(0x4000, taken, predicted, payload)
+            ctx.push_branch(taken, 0x4000)
+        assert wrong < 10
+
+    def test_learns_alternating_pattern(self):
+        tage = TAGEBranchPredictor()
+        ctx = PredictionContext()
+        wrong_late = 0
+        for i in range(4000):
+            taken = i % 2 == 0
+            predicted, payload = tage.predict(0x4000, ctx)
+            if predicted != taken and i > 2000:
+                wrong_late += 1
+            tage.update(0x4000, taken, predicted, payload)
+            ctx.push_branch(taken, 0x4000)
+        assert wrong_late < 40
+
+    def test_learns_history_correlated_branch(self):
+        """A branch equal to the conjunction of the two previous outcomes:
+        invisible to bimodal, easy for tagged components."""
+        tage = TAGEBranchPredictor()
+        ctx = PredictionContext()
+        rng = random.Random(3)
+        recent = [False, False]
+        wrong_late = 0
+        total_late = 0
+        for i in range(6000):
+            lead = rng.random() < 0.5
+            ctx.push_branch(lead, 0x100)
+            recent = [recent[1], lead]
+            taken = recent[0] and recent[1]
+            predicted, payload = tage.predict(0x200, ctx)
+            if i > 4000:
+                total_late += 1
+                if predicted != taken:
+                    wrong_late += 1
+            tage.update(0x200, taken, predicted, payload)
+            ctx.push_branch(taken, 0x200)
+        assert wrong_late / total_late < 0.10
+
+    def test_random_branch_mispredict_rate_near_half(self):
+        tage = TAGEBranchPredictor()
+        ctx = PredictionContext()
+        rng = random.Random(11)
+        wrong = 0
+        n = 4000
+        for _ in range(n):
+            taken = rng.random() < 0.5
+            predicted, payload = tage.predict(0x4000, ctx)
+            wrong += predicted != taken
+            tage.update(0x4000, taken, predicted, payload)
+            ctx.push_branch(taken, 0x4000)
+        assert 0.3 < wrong / n < 0.6
+
+    def test_total_entries_near_table2(self):
+        cfg = TAGEConfig()
+        assert 12_000 <= cfg.total_entries() <= 20_000
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        assert btb.lookup(0x400) is None
+        btb.install(0x400, 0x900)
+        assert btb.lookup(0x400) == 0x900
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=4, ways=2)
+        # Find three PCs mapping to the same set by brute force.
+        base = None
+        same_set = []
+        for pc in range(0, 4096, 4):
+            btb.install(pc, pc + 1)
+        # Regardless of mapping, capacity is 4: at most 4 survive.
+        hits = sum(btb.lookup(pc) is not None for pc in range(0, 4096, 4))
+        assert hits <= 4
+
+    def test_update_refreshes_target(self):
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        btb.install(0x400, 0x900)
+        btb.install(0x400, 0xA00)
+        assert btb.lookup(0x400) == 0xA00
+
+
+class TestRAS:
+    def test_push_pop_symmetry(self):
+        ras = ReturnAddressStack(entries=8)
+        for addr in (10, 20, 30):
+            ras.push(addr)
+        assert ras.pop() == 30
+        assert ras.pop() == 20
+        assert ras.pop() == 10
+        assert ras.pop() is None
+
+    def test_wraparound_corrupts_old_entries(self):
+        ras = ReturnAddressStack(entries=4)
+        for addr in range(10, 70, 10):  # depth 6 > 4 entries
+            ras.push(addr)
+        assert ras.pop() == 60
+        assert ras.pop() == 50
+        assert ras.pop() == 40
+        assert ras.pop() == 30
+        # The two oldest were overwritten by wraparound.
+        assert ras.pop() != 20
+
+
+def _branch_uop(seq, pc, taken, target, op=OpClass.BRANCH):
+    return MicroOp(seq=seq, pc=pc, op_class=op, taken=taken, target=target)
+
+
+class TestBranchUnit:
+    def test_biased_loop_branch_converges(self):
+        unit = BranchUnit()
+        mispredicts = 0
+        for i in range(1000):
+            res = unit.process(_branch_uop(i, 0x400, True, 0x300))
+            if i > 200 and res.direction_mispredict:
+                mispredicts += 1
+        assert mispredicts < 5
+
+    def test_call_return_uses_ras(self):
+        unit = BranchUnit()
+        mispredicts = 0
+        for i in range(200):
+            unit.process(_branch_uop(2 * i, 0x400, True, 0x800, OpClass.CALL))
+            res = unit.process(
+                _branch_uop(2 * i + 1, 0x810, True, 0x404, OpClass.RET)
+            )
+            if i > 5 and res.direction_mispredict:
+                mispredicts += 1
+        assert mispredicts == 0
+
+    def test_btb_learns_jump_target(self):
+        unit = BranchUnit()
+        first = unit.process(_branch_uop(0, 0x500, True, 0x900, OpClass.JUMP))
+        assert first.target_mispredict
+        second = unit.process(_branch_uop(1, 0x500, True, 0x900, OpClass.JUMP))
+        assert not second.target_mispredict
+
+    def test_history_updated_only_by_conditional_branches(self):
+        unit = BranchUnit()
+        before = unit.context.ghist_length
+        unit.process(_branch_uop(0, 0x500, True, 0x900, OpClass.JUMP))
+        assert unit.context.ghist_length == before
+        unit.process(_branch_uop(1, 0x504, True, 0x900, OpClass.BRANCH))
+        assert unit.context.ghist_length == before + 1

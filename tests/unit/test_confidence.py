@@ -1,0 +1,107 @@
+"""Unit tests for confidence policies, especially FPC (Section 5)."""
+
+import pytest
+
+from repro.core.confidence import (
+    ConfidencePolicy,
+    ForwardProbabilisticCounters,
+    WideConfidence,
+)
+from repro.util.lfsr import GaloisLFSR
+
+
+class TestBaselinePolicy:
+    def test_counts_up_to_saturation(self):
+        policy = ConfidencePolicy(bits=3)
+        level = 0
+        for _ in range(10):
+            level = policy.on_correct(level)
+        assert level == 7
+        assert policy.is_confident(level)
+
+    def test_reset_on_incorrect(self):
+        policy = ConfidencePolicy(bits=3)
+        assert policy.on_incorrect(7) == 0
+        assert policy.on_incorrect(3) == 0
+
+    def test_not_confident_below_saturation(self):
+        policy = ConfidencePolicy(bits=3)
+        for level in range(7):
+            assert not policy.is_confident(level)
+
+    def test_storage_bits(self):
+        assert ConfidencePolicy(bits=3).storage_bits() == 3
+        assert WideConfidence(bits=7).storage_bits() == 7
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ConfidencePolicy(bits=0)
+
+
+class TestWideConfidence:
+    def test_saturation_needs_many_corrects(self):
+        policy = WideConfidence(bits=7)
+        level = 0
+        for _ in range(126):
+            level = policy.on_correct(level)
+        assert not policy.is_confident(level)
+        level = policy.on_correct(level)
+        assert policy.is_confident(level)
+
+
+class TestFPC:
+    def test_paper_vectors_have_seven_transitions(self):
+        assert len(ForwardProbabilisticCounters.SQUASH_VECTOR) == 7
+        assert len(ForwardProbabilisticCounters.REISSUE_VECTOR) == 7
+
+    def test_first_transition_always_fires(self):
+        fpc = ForwardProbabilisticCounters.for_squash()
+        assert fpc.on_correct(0) == 1
+
+    def test_level_never_exceeds_max(self):
+        fpc = ForwardProbabilisticCounters.for_squash()
+        level = 0
+        for _ in range(2000):
+            level = fpc.on_correct(level)
+            assert level <= fpc.max_level
+
+    def test_reset_on_incorrect(self):
+        fpc = ForwardProbabilisticCounters.for_squash()
+        assert fpc.on_incorrect(7) == 0
+
+    def test_expected_steps_to_saturate_squash(self):
+        """The squash vector mimics a 7-bit counter: ~129 expected steps."""
+        expected = sum(1 << p for p in ForwardProbabilisticCounters.SQUASH_VECTOR)
+        assert expected == 1 + 16 * 4 + 32 * 2  # = 129
+
+    def test_expected_steps_to_saturate_reissue(self):
+        """The reissue vector mimics a 6-bit counter: ~65 expected steps."""
+        expected = sum(1 << p for p in ForwardProbabilisticCounters.REISSUE_VECTOR)
+        assert expected == 1 + 8 * 4 + 16 * 2  # = 65
+
+    def test_effective_counter_bits(self):
+        assert ForwardProbabilisticCounters.for_squash().effective_counter_bits() == 7
+        assert ForwardProbabilisticCounters.for_reissue().effective_counter_bits() == 6
+
+    def test_empirical_saturation_time(self):
+        """Average steps to saturate should sit near the 129-step target."""
+        totals = 0
+        runs = 300
+        fpc = ForwardProbabilisticCounters.for_squash(lfsr=GaloisLFSR(seed=99))
+        for _ in range(runs):
+            level = 0
+            steps = 0
+            while not fpc.is_confident(level):
+                level = fpc.on_correct(level)
+                steps += 1
+            totals += steps
+        mean = totals / runs
+        assert 100 < mean < 160
+
+    def test_rejects_wrong_vector_length(self):
+        with pytest.raises(ValueError):
+            ForwardProbabilisticCounters(probability_log2=(0, 4, 4))
+
+    def test_describe_mentions_probabilities(self):
+        assert "1/16" in ForwardProbabilisticCounters.for_squash().describe()
+        assert "1/8" in ForwardProbabilisticCounters.for_reissue().describe()

@@ -1,0 +1,87 @@
+"""Unit tests for the Section 3.1 / Section 4 analytic models."""
+
+import pytest
+
+from repro.analysis.cost_model import (
+    PAPER_SCENARIOS,
+    SELECTIVE_REISSUE,
+    SQUASH_AT_COMMIT,
+    SQUASH_AT_EXECUTE,
+    recovery_benefit_per_kilo_instruction,
+    register_file_area,
+    total_recovery_cost,
+    vp_register_file_overheads,
+)
+
+
+class TestRecoveryModel:
+    """Reproduce the Section 3.1.1 worked example exactly."""
+
+    def test_high_coverage_low_accuracy(self):
+        """Coverage 40%, accuracy 95%: +64 / -86 / -286 cycles/Kinsn."""
+        reissue = recovery_benefit_per_kilo_instruction(SELECTIVE_REISSUE, 0.40, 0.95)
+        execute = recovery_benefit_per_kilo_instruction(SQUASH_AT_EXECUTE, 0.40, 0.95)
+        commit = recovery_benefit_per_kilo_instruction(SQUASH_AT_COMMIT, 0.40, 0.95)
+        assert reissue == pytest.approx(64, abs=1)
+        assert execute == pytest.approx(-86, abs=1)
+        assert commit == pytest.approx(-286, abs=1)
+
+    def test_low_coverage_high_accuracy(self):
+        """Coverage 30%, accuracy 99.75%: +88 / +83 / +76 cycles/Kinsn."""
+        reissue = recovery_benefit_per_kilo_instruction(SELECTIVE_REISSUE, 0.30, 0.9975)
+        execute = recovery_benefit_per_kilo_instruction(SQUASH_AT_EXECUTE, 0.30, 0.9975)
+        commit = recovery_benefit_per_kilo_instruction(SQUASH_AT_COMMIT, 0.30, 0.9975)
+        # The paper rounds its example ("around 88 / 83 / 76"); the exact
+        # model gives 87.9 / 82.3 / 74.8.
+        assert reissue == pytest.approx(88, abs=2)
+        assert execute == pytest.approx(83, abs=2)
+        assert commit == pytest.approx(76, abs=2)
+
+    def test_accuracy_dominates_at_commit(self):
+        """The paper's core argument: with very high accuracy, squash at
+        commit is nearly as good as selective reissue."""
+        commit = recovery_benefit_per_kilo_instruction(SQUASH_AT_COMMIT, 0.30, 0.999)
+        reissue = recovery_benefit_per_kilo_instruction(SELECTIVE_REISSUE, 0.30, 0.999)
+        assert commit > 0
+        assert commit / reissue > 0.85
+
+    def test_trecov_formula(self):
+        assert total_recovery_cost(100, 40.0) == 4000.0
+        with pytest.raises(ValueError):
+            total_recovery_cost(-1, 40.0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            recovery_benefit_per_kilo_instruction(SQUASH_AT_COMMIT, 1.5, 0.9)
+        with pytest.raises(ValueError):
+            recovery_benefit_per_kilo_instruction(SQUASH_AT_COMMIT, 0.5, -0.1)
+
+    def test_scenarios_ordered_by_penalty(self):
+        penalties = [s.penalty_cycles for s in PAPER_SCENARIOS]
+        assert penalties == sorted(penalties)
+
+
+class TestRegisterFileModel:
+    def test_area_formula(self):
+        """(R + W)(R + 2W): with R = 2W the baseline is 12W^2."""
+        w = 8
+        assert register_file_area(2 * w, w) == 12 * w * w
+
+    def test_naive_vp_doubles_area(self):
+        """Section 4: doubling write ports doubles the area (24W^2)."""
+        w = 8
+        assert register_file_area(2 * w, 2 * w) == 24 * w * w
+
+    def test_buffered_scheme_saves_half_overhead(self):
+        """W/2 extra ports: 35W^2/2, saving half of the naive overhead."""
+        w = 8
+        assert register_file_area(2 * w, w + w // 2) == 35 * w * w / 2
+
+    def test_overhead_summary(self):
+        data = vp_register_file_overheads(issue_width=8)
+        assert data["naive_vp"] == pytest.approx(2.0)
+        assert data["buffered_vp"] == pytest.approx(35 / 24)
+
+    def test_rejects_negative_ports(self):
+        with pytest.raises(ValueError):
+            register_file_area(-1, 2)

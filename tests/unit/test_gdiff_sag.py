@@ -1,0 +1,148 @@
+"""Unit tests for the gDiff stacking predictor and SAg confidence."""
+
+from repro.core.confidence import ConfidencePolicy
+from repro.core.sag import SAgConfidenceBank
+from repro.predictors.base import PredictionContext
+from repro.predictors.gdiff import GDiffPredictor
+from repro.predictors.lvp import LastValuePredictor
+
+import pytest
+
+
+class TestGDiff:
+    def test_learns_global_stride_relation(self):
+        """Producer at distance 1 with a constant offset: the classic gDiff
+        pattern 'result = previous dynamic instruction's result + 10'."""
+        gdiff = GDiffPredictor(entries=64, confidence=ConfidencePolicy())
+        ctx = PredictionContext()
+        hits = used = 0
+        base = 0
+        for i in range(400):
+            base += 7
+            # µop A produces `base`.
+            pred_a = gdiff.lookup(0x10, ctx)
+            gdiff.speculate(0x10, pred_a)
+            gdiff.train(0x10, base, pred_a)
+            # µop B produces base + 10, i.e. history[0] + 10.
+            pred_b = gdiff.lookup(0x20, ctx)
+            gdiff.speculate(0x20, pred_b)
+            if pred_b is not None and pred_b.confident:
+                used += 1
+                hits += pred_b.value == (base + 10) & ((1 << 64) - 1)
+            gdiff.train(0x20, base + 10, pred_b)
+        assert used > 100
+        assert hits == used
+
+    def test_falls_back_to_backing_predictor(self):
+        backing = LastValuePredictor(entries=64, confidence=ConfidencePolicy())
+        gdiff = GDiffPredictor(backing=backing, entries=64,
+                               confidence=ConfidencePolicy())
+        ctx = PredictionContext()
+        confident_const = 0
+        for _ in range(60):
+            pred = gdiff.lookup(0x30, ctx)
+            gdiff.speculate(0x30, pred)
+            if pred is not None and pred.confident and pred.value == 5:
+                confident_const += 1
+            gdiff.train(0x30, 5, pred)
+        assert confident_const > 20  # the LVP side carries the constant
+
+    def test_squash_drops_pending_repairs(self):
+        gdiff = GDiffPredictor(entries=64)
+        ctx = PredictionContext()
+        for value in (1, 2, 3):
+            pred = gdiff.lookup(0x40, ctx)
+            gdiff.speculate(0x40, pred)
+            gdiff.train(0x40, value, pred)
+        pred = gdiff.lookup(0x40, ctx)
+        gdiff.speculate(0x40, pred)  # in-flight occurrence, then squashed
+        gdiff.on_squash()
+        assert not gdiff._pending
+        # Training afterwards must not crash or misalign slots.
+        pred = gdiff.lookup(0x40, ctx)
+        gdiff.speculate(0x40, pred)
+        gdiff.train(0x40, 4, pred)
+        assert gdiff._history()[0] == 4
+
+    def test_storage_includes_backing(self):
+        backing = LastValuePredictor(entries=64)
+        alone = GDiffPredictor(entries=64).storage_bits()
+        stacked = GDiffPredictor(backing=backing, entries=64).storage_bits()
+        assert stacked == alone + backing.storage_bits()
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            GDiffPredictor(entries=100)
+        with pytest.raises(ValueError):
+            GDiffPredictor(history_depth=0)
+
+
+class TestSAg:
+    def test_confidence_requires_good_pattern(self):
+        bank = SAgConfidenceBank(history_bits=4, counter_bits=2)
+        key = 0x99
+        assert not bank.is_confident(key)
+        for _ in range(20):
+            bank.record(key, True)
+        assert bank.is_confident(key)
+
+    def test_miss_resets_shared_counter(self):
+        bank = SAgConfidenceBank(history_bits=4, counter_bits=2)
+        key = 0x99
+        for _ in range(20):
+            bank.record(key, True)
+        bank.record(key, False)
+        # The all-ones pattern counter was reset by the miss; after the miss
+        # the history changed too, so confidence must be gone.
+        assert not bank.is_confident(key)
+
+    def test_pattern_sharing_across_keys(self):
+        """The SAg selling point: a key with no history of its own inherits
+        the confidence its behaviour pattern earned elsewhere."""
+        bank = SAgConfidenceBank(history_bits=3, counter_bits=2)
+        # Key A establishes that the all-correct pattern is trustworthy.
+        for _ in range(30):
+            bank.record(0xA, True)
+        # Key B reaches the same all-correct pattern with just 3 records.
+        for _ in range(3):
+            bank.record(0xB, True)
+        assert bank.is_confident(0xB)
+
+    def test_storage_model(self):
+        bank = SAgConfidenceBank(history_bits=8, counter_bits=4)
+        bits = bank.storage_bits(tracked_entries=1024)
+        assert bits == 1024 * 8 + 256 * 4
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            SAgConfidenceBank(history_bits=0)
+        with pytest.raises(ValueError):
+            SAgConfidenceBank(counter_bits=0)
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vtage-2dstride" in out
+        assert "164.gzip" in out
+
+    def test_table_command(self, capsys):
+        from repro.cli import main
+        assert main(["table", "1"]) == 0
+        assert "120.8" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        from repro.cli import main
+        code = main(["run", "vpr", "--predictor", "lvp",
+                     "--uops", "2000", "--warmup", "1000"])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_figure_command_small(self, capsys):
+        from repro.cli import main
+        code = main(["figure", "3", "--workloads", "vpr",
+                     "--uops", "2000", "--warmup", "1000"])
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Unit tests for the hybrid combiner (Section 7.1.2)."""
+
+from repro.core.confidence import ConfidencePolicy
+from repro.core.hybrid import HybridPredictor
+from repro.core.vtage import VTAGEPredictor
+from repro.predictors.base import Prediction, PredictionContext
+from repro.predictors.stride import TwoDeltaStridePredictor
+
+
+def make_hybrid():
+    return HybridPredictor(
+        VTAGEPredictor(base_entries=512, tagged_entries=64,
+                       confidence=ConfidencePolicy()),
+        TwoDeltaStridePredictor(entries=512, confidence=ConfidencePolicy()),
+    )
+
+
+class TestArbitration:
+    def test_only_confident_component_selected(self):
+        a = Prediction(value=1, confident=True, source="A")
+        b = Prediction(value=2, confident=False, source="B")
+        chosen = HybridPredictor._arbitrate(a, b)
+        assert chosen.value == 1 and chosen.confident
+
+    def test_agreement_proceeds(self):
+        a = Prediction(value=9, confident=True, source="A")
+        b = Prediction(value=9, confident=True, source="B")
+        chosen = HybridPredictor._arbitrate(a, b)
+        assert chosen.confident and chosen.value == 9
+
+    def test_disagreement_abstains(self):
+        """"When both predictors predict and if they do not agree, no
+        prediction is made." (Section 7.1.2)"""
+        a = Prediction(value=1, confident=True, source="A")
+        b = Prediction(value=2, confident=True, source="B")
+        chosen = HybridPredictor._arbitrate(a, b)
+        assert not chosen.confident
+
+    def test_none_components(self):
+        assert HybridPredictor._arbitrate(None, None) is None
+        b = Prediction(value=3, confident=True, source="B")
+        assert HybridPredictor._arbitrate(None, b).value == 3
+
+
+class TestHybridBehaviour:
+    def test_covers_union_of_component_strengths(self):
+        """Strided stream -> stride side; constant stream -> both; the
+        hybrid should confidently cover both µops."""
+        hybrid = make_hybrid()
+        ctx = PredictionContext()
+        stride_hits = const_hits = 0
+        for i in range(200):
+            # µop 1: arithmetic sequence.
+            pred = hybrid.lookup(0x10, ctx)
+            hybrid.speculate(0x10, pred)
+            if pred.confident and pred.value == i * 8:
+                stride_hits += 1
+            hybrid.train(0x10, i * 8, pred)
+            # µop 2: constant.
+            pred = hybrid.lookup(0x20, ctx)
+            hybrid.speculate(0x20, pred)
+            if pred.confident and pred.value == 321:
+                const_hits += 1
+            hybrid.train(0x20, 321, pred)
+        assert stride_hits > 100
+        assert const_hits > 100
+
+    def test_trains_both_components(self):
+        hybrid = make_hybrid()
+        ctx = PredictionContext()
+        for i in range(50):
+            pred = hybrid.lookup(0x30, ctx)
+            hybrid.train(0x30, 7, pred)
+        # Each component must have learned the constant on its own.
+        assert hybrid.first.lookup(0x30, ctx).value == 7
+        assert hybrid.second.lookup(0x30, ctx).value == 7
+
+    def test_storage_is_sum_of_components(self):
+        hybrid = make_hybrid()
+        assert hybrid.storage_bits() == (
+            hybrid.first.storage_bits() + hybrid.second.storage_bits()
+        )
+
+    def test_on_squash_propagates(self):
+        hybrid = make_hybrid()
+        ctx = PredictionContext()
+        for i in range(60):
+            pred = hybrid.lookup(0x10, ctx)
+            hybrid.speculate(0x10, pred)
+            hybrid.train(0x10, i * 4, pred)
+        pred = hybrid.lookup(0x10, ctx)
+        hybrid.speculate(0x10, pred)
+        hybrid.on_squash()
+        after = hybrid.lookup(0x10, ctx)
+        assert after.value == pred.value  # committed state rules again
+
+    def test_name_composition(self):
+        hybrid = make_hybrid()
+        assert "VTAGE" in hybrid.name and "2D-Stride" in hybrid.name

@@ -1,0 +1,91 @@
+"""Unit tests for the µop model and trace container."""
+
+from repro.isa.trace import Trace
+from repro.isa.uop import FP_REG_BASE, MicroOp, OpClass, is_fp_class, is_mem_class
+
+
+def uop(seq=0, pc=0x400, op=OpClass.INT_ALU, dst=1, **kwargs):
+    return MicroOp(seq=seq, pc=pc, op_class=op, dst=dst, **kwargs)
+
+
+class TestMicroOp:
+    def test_produces_value(self):
+        assert uop().produces_value
+        assert not uop(op=OpClass.STORE, dst=None).produces_value
+        assert not uop(op=OpClass.BRANCH, dst=None).produces_value
+
+    def test_branch_with_dst_not_eligible(self):
+        """Branches are never value-predicted (Section 7.2)."""
+        call = uop(op=OpClass.CALL, dst=3)
+        assert not call.produces_value
+
+    def test_class_predicates(self):
+        assert uop(op=OpClass.LOAD).is_load
+        assert uop(op=OpClass.STORE, dst=None).is_store
+        assert uop(op=OpClass.BRANCH, dst=None).is_cond_branch
+        assert uop(op=OpClass.JUMP, dst=None).is_branch
+        assert not uop(op=OpClass.JUMP, dst=None).is_cond_branch
+
+    def test_fp_and_mem_class_helpers(self):
+        assert is_fp_class(OpClass.FP_MUL)
+        assert not is_fp_class(OpClass.INT_MUL)
+        assert is_mem_class(OpClass.LOAD)
+        assert not is_mem_class(OpClass.BRANCH)
+
+    def test_predictor_key_mixes_uop_index(self):
+        """Section 7.2: PC << 2 XOR µop number, so µops of one macro-op get
+        distinct predictor entries."""
+        a = uop(pc=0x1000, dst=1)
+        b = MicroOp(seq=1, pc=0x1000, uop_index=1, dst=2)
+        assert a.predictor_key() != b.predictor_key()
+        assert a.predictor_key() == (0x1000 << 2)
+
+    def test_fp_register_space(self):
+        assert FP_REG_BASE == 32
+
+
+class TestTrace:
+    def make_trace(self):
+        uops = [
+            uop(seq=0, dst=1),
+            uop(seq=1, op=OpClass.LOAD, dst=2, mem_addr=0x100),
+            uop(seq=2, op=OpClass.BRANCH, dst=None, taken=True),
+            uop(seq=3, op=OpClass.STORE, dst=None, mem_addr=0x100),
+        ]
+        return Trace(uops, name="t")
+
+    def test_len_iter_getitem(self):
+        trace = self.make_trace()
+        assert len(trace) == 4
+        assert [u.seq for u in trace] == [0, 1, 2, 3]
+        assert trace[1].is_load
+        assert isinstance(trace[:2], Trace)
+
+    def test_split(self):
+        trace = self.make_trace()
+        head, tail = trace.split(1)
+        assert len(head) == 1 and len(tail) == 3
+
+    def test_stats(self):
+        stats = self.make_trace().stats()
+        assert stats.n_uops == 4
+        assert stats.n_loads == 1
+        assert stats.n_stores == 1
+        assert stats.n_branches == 1
+        assert stats.n_taken == 1
+        assert stats.n_value_producers == 2
+
+    def test_back_to_back_fraction(self):
+        # The same producing µop twice in a row: 1 of 2 eligible is b2b.
+        uops = [
+            MicroOp(seq=0, pc=0x500, dst=1),
+            MicroOp(seq=1, pc=0x500, dst=1),
+        ]
+        assert Trace(uops).back_to_back_fraction(fetch_width=8) == 0.5
+
+    def test_back_to_back_far_occurrence_not_counted(self):
+        uops = [MicroOp(seq=0, pc=0x500, dst=1)]
+        uops += [MicroOp(seq=1 + i, pc=0x900 + 4 * i, dst=1) for i in range(20)]
+        uops += [MicroOp(seq=21, pc=0x500, dst=1)]
+        frac = Trace(uops).back_to_back_fraction(fetch_width=8)
+        assert frac == 0.0

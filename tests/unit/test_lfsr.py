@@ -1,0 +1,62 @@
+"""Unit tests for the Galois LFSR behind FPC."""
+
+import pytest
+
+from repro.util.lfsr import GaloisLFSR
+
+
+class TestGaloisLFSR:
+    def test_never_zero(self):
+        lfsr = GaloisLFSR(width=8, seed=1)
+        for _ in range(300):
+            assert lfsr.step() != 0
+
+    def test_zero_seed_promoted(self):
+        lfsr = GaloisLFSR(width=16, seed=0)
+        assert lfsr.state == 1
+
+    def test_deterministic_for_seed(self):
+        a = GaloisLFSR(seed=0xBEEF)
+        b = GaloisLFSR(seed=0xBEEF)
+        assert [a.step() for _ in range(100)] == [b.step() for _ in range(100)]
+
+    def test_maximal_period_8bit(self):
+        lfsr = GaloisLFSR(width=8, seed=1)
+        seen = set()
+        for _ in range((1 << 8) - 1):
+            seen.add(lfsr.step())
+        assert len(seen) == (1 << 8) - 1
+
+    def test_maximal_period_16bit(self):
+        lfsr = GaloisLFSR(width=16, seed=0xACE1)
+        start = lfsr.state
+        period = 0
+        while True:
+            lfsr.step()
+            period += 1
+            if lfsr.state == start:
+                break
+        assert period == (1 << 16) - 1
+
+    def test_rejects_unknown_width(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(width=7)
+
+    def test_chance_probability_zero_always_true(self):
+        lfsr = GaloisLFSR()
+        assert all(lfsr.chance(0) for _ in range(50))
+
+    def test_chance_probability_rate(self):
+        lfsr = GaloisLFSR(seed=0x1357)
+        hits = sum(lfsr.chance(4) for _ in range(1 << 16))
+        rate = hits / (1 << 16)
+        assert 0.04 < rate < 0.09  # nominal 1/16 = 0.0625
+
+    def test_chance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR().chance(-1)
+
+    def test_next_bits_range(self):
+        lfsr = GaloisLFSR()
+        for _ in range(100):
+            assert 0 <= lfsr.next_bits(5) < 32

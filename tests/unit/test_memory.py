@@ -1,0 +1,185 @@
+"""Unit tests for the memory substrate: caches, DRAM, prefetcher, store sets."""
+
+import pytest
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.dram import DRAMModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.prefetcher import StridePrefetcher
+from repro.memory.storesets import StoreSets
+
+
+def flat_miss_handler(latency=100):
+    def handler(line_addr, cycle):
+        return cycle + latency
+    return handler
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(CacheConfig(name="t", size_bytes=4096, ways=2, hit_latency=2))
+        first = cache.access(0x1000, cycle=0, miss_handler=flat_miss_handler())
+        assert first >= 100
+        second = cache.access(0x1000, cycle=first, miss_handler=flat_miss_handler())
+        assert second == first + 2
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_shares_fill(self):
+        cache = Cache(CacheConfig(name="t", size_bytes=4096, ways=2))
+        cache.access(0x1000, 0, flat_miss_handler())
+        # Another word in the same 64B line: a hit, no second miss.
+        cache.access(0x1008, 5, flat_miss_handler())
+        assert cache.misses == 1
+
+    def test_access_during_fill_waits(self):
+        cache = Cache(CacheConfig(name="t", size_bytes=4096, ways=2))
+        ready = cache.access(0x1000, 0, flat_miss_handler(100))
+        early = cache.access(0x1000, 10, flat_miss_handler(100))
+        assert early >= ready
+
+    def test_lru_eviction(self):
+        cfg = CacheConfig(name="t", size_bytes=2 * 64, ways=2, line_bytes=64)
+        cache = Cache(cfg)  # 1 set, 2 ways
+        cache.access(0x0000, 0, flat_miss_handler(1))
+        cache.access(0x1000, 10, flat_miss_handler(1))
+        cache.access(0x0000, 20, flat_miss_handler(1))  # refresh line 0
+        cache.access(0x2000, 30, flat_miss_handler(1))  # evicts 0x1000
+        before = cache.misses
+        cache.access(0x0000, 40, flat_miss_handler(1))
+        assert cache.misses == before  # still resident
+        cache.access(0x1000, 50, flat_miss_handler(1))
+        assert cache.misses == before + 1  # was evicted
+
+    def test_mshr_limit_delays(self):
+        cfg = CacheConfig(name="t", size_bytes=1 << 20, ways=4, mshrs=2)
+        cache = Cache(cfg)
+        r1 = cache.access(0x0000, 0, flat_miss_handler(100))
+        r2 = cache.access(0x10000, 0, flat_miss_handler(100))
+        r3 = cache.access(0x20000, 0, flat_miss_handler(100))  # must wait
+        assert r3 > max(r1, r2) - 5
+        assert cache.mshr_stalls >= 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=3000, ways=4)
+
+
+class TestDRAM:
+    def test_latency_within_paper_bounds(self):
+        dram = DRAMModel()
+        for i in range(200):
+            addr = i * 8192 * 3
+            done = dram.read(addr, cycle=i * 200)
+            latency = done - i * 200
+            assert 75 <= latency <= 185
+
+    def test_row_hit_faster_than_conflict(self):
+        dram = DRAMModel()
+        base = dram.read(0x0, 0)
+        hit = dram.read(0x40, base + 50) - (base + 50)
+        conflict_addr = 8192 * dram.n_banks  # same bank, different row
+        conflict = dram.read(conflict_addr, base + 1000) - (base + 1000)
+        assert hit < conflict
+
+    def test_row_hit_rate_tracked(self):
+        dram = DRAMModel()
+        for i in range(10):
+            dram.read(i * 64, i * 300)
+        assert dram.row_hit_rate > 0.5
+
+
+class TestPrefetcher:
+    def test_detects_constant_stride(self):
+        pf = StridePrefetcher(degree=4)
+        issued = []
+        for i in range(8):
+            issued = pf.observe(0x400, 0x1000 + i * 64)
+        assert len(issued) == 4
+        assert issued[0] == 0x1000 + 8 * 64
+
+    def test_no_prefetch_for_random(self):
+        pf = StridePrefetcher(degree=4)
+        import random
+        rng = random.Random(5)
+        total = 0
+        for _ in range(50):
+            total += len(pf.observe(0x400, rng.randrange(1 << 30)))
+        assert total == 0
+
+    def test_streams_tracked_per_pc(self):
+        pf = StridePrefetcher(degree=2)
+        for i in range(6):
+            a = pf.observe(0x400, 0x1000 + i * 64)
+            b = pf.observe(0x404, 0x9000 + i * 128)
+        assert a and b
+        assert a[0] != b[0]
+
+
+class TestStoreSets:
+    def test_violation_creates_set(self):
+        ss = StoreSets()
+        assert ss.predicted_store(0x100) is None
+        ss.train_violation(load_pc=0x100, store_pc=0x200)
+        ss.store_fetched(0x200, seq=42)
+        assert ss.predicted_store(0x100) == 42
+
+    def test_store_retirement_clears_lfst(self):
+        ss = StoreSets()
+        ss.train_violation(0x100, 0x200)
+        ss.store_fetched(0x200, 42)
+        ss.store_retired(0x200, 42)
+        assert ss.predicted_store(0x100) is None
+
+    def test_newer_store_takes_over(self):
+        ss = StoreSets()
+        ss.train_violation(0x100, 0x200)
+        ss.store_fetched(0x200, 42)
+        ss.store_fetched(0x200, 77)
+        assert ss.predicted_store(0x100) == 77
+        ss.store_retired(0x200, 42)  # stale retirement must not clear
+        assert ss.predicted_store(0x100) == 77
+
+    def test_flush_clears_inflight(self):
+        ss = StoreSets()
+        ss.train_violation(0x100, 0x200)
+        ss.store_fetched(0x200, 42)
+        ss.flush_inflight()
+        assert ss.predicted_store(0x100) is None
+
+    def test_merge_two_sets(self):
+        ss = StoreSets()
+        ss.train_violation(0x100, 0x200)
+        ss.train_violation(0x300, 0x400)
+        ss.train_violation(0x100, 0x400)  # merge
+        ss.store_fetched(0x400, 9)
+        assert ss.predicted_store(0x100) == 9
+
+
+class TestHierarchy:
+    def test_l1_hit_fast(self):
+        mem = MemoryHierarchy()
+        first = mem.load(0x400, 0x10000, 0)
+        again = mem.load(0x400, 0x10000, first.ready_cycle + 10)
+        assert again.l1_hit
+        assert again.ready_cycle - (first.ready_cycle + 10) == 2
+
+    def test_miss_goes_through_l2_to_dram(self):
+        mem = MemoryHierarchy()
+        result = mem.load(0x400, 0x5000000, 0)
+        assert not result.l1_hit
+        assert result.ready_cycle >= 75
+
+    def test_prefetcher_warms_l2(self):
+        mem = MemoryHierarchy()
+        cycle = 0
+        # Strided miss stream trains the L2 prefetcher.
+        for i in range(32):
+            r = mem.load(0x400, 0x800000 + i * 64, cycle)
+            cycle = r.ready_cycle + 5
+        assert mem.prefetcher.issued > 0
+
+    def test_instruction_fetch_path(self):
+        mem = MemoryHierarchy()
+        t1 = mem.fetch(0x400000, 0)
+        t2 = mem.fetch(0x400000, t1 + 1)
+        assert t2 - (t1 + 1) <= 2  # L1I hit

@@ -1,0 +1,187 @@
+"""Unit tests for the core timing model on hand-built micro-traces."""
+
+import pytest
+
+from repro.core.confidence import ConfidencePolicy
+from repro.isa.trace import Trace
+from repro.isa.uop import MicroOp, OpClass
+from repro.pipeline.config import CoreConfig, RecoveryMode
+from repro.pipeline.core import CoreModel, simulate
+from repro.predictors.lvp import LastValuePredictor
+from repro.predictors.oracle import OraclePredictor
+
+
+def chain_trace(n, latency_class=OpClass.INT_ALU, value=7):
+    """A pure serial dependence chain: uop i reads uop i-1's register."""
+    uops = []
+    for i in range(n):
+        uops.append(
+            MicroOp(seq=i, pc=0x400 + 4 * (i % 16), op_class=latency_class,
+                    srcs=(0,), dst=0, value=value)
+        )
+    return Trace(uops, name="chain")
+
+
+def independent_trace(n):
+    """Fully independent single-cycle µops."""
+    uops = [
+        MicroOp(seq=i, pc=0x400 + 4 * (i % 16), op_class=OpClass.INT_ALU,
+                srcs=(), dst=i % 8, value=i)
+        for i in range(n)
+    ]
+    return Trace(uops, name="indep")
+
+
+class TestBaselineTiming:
+    def test_independent_stream_reaches_fetch_width(self):
+        result = simulate(independent_trace(6000), warmup=1000)
+        assert result.ipc > 6.0  # 8-wide minus startup effects
+
+    def test_serial_chain_limited_to_one_ipc(self):
+        result = simulate(chain_trace(4000), warmup=500)
+        assert 0.8 < result.ipc <= 1.05
+
+    def test_mul_chain_limited_by_latency(self):
+        result = simulate(chain_trace(3000, OpClass.INT_MUL), warmup=500)
+        assert result.ipc == pytest.approx(1 / 3, rel=0.15)
+
+    def test_branch_mispredicts_cost_cycles(self):
+        import random
+        rng = random.Random(9)
+        uops = []
+        for i in range(6000):
+            taken = rng.random() < 0.5
+            uops.append(MicroOp(seq=len(uops), pc=0x400, op_class=OpClass.INT_ALU,
+                                srcs=(), dst=0, value=i))
+            uops.append(MicroOp(seq=len(uops), pc=0x404, op_class=OpClass.BRANCH,
+                                srcs=(0,), taken=taken, target=0x400))
+        random_branches = simulate(Trace(uops, name="rnd"), warmup=1000)
+        biased = [MicroOp(seq=i, pc=0x400 + 4 * (i % 2), op_class=(
+            OpClass.BRANCH if i % 2 else OpClass.INT_ALU),
+            srcs=(0,) if i % 2 else (), dst=None if i % 2 else 0,
+            taken=bool(i % 2), target=0x400, value=0) for i in range(12000)]
+        biased_branches = simulate(Trace(biased, name="biased"), warmup=1000)
+        assert random_branches.ipc < biased_branches.ipc
+        assert random_branches.branch_mispredicts > 500
+
+
+class TestValuePredictionTiming:
+    def test_oracle_breaks_serial_chain(self):
+        trace = chain_trace(4000)
+        base = simulate(trace, warmup=500)
+        oracle = simulate(trace, OraclePredictor(), warmup=500)
+        assert oracle.ipc > base.ipc * 2
+
+    def test_lvp_on_constant_chain(self):
+        trace = chain_trace(4000, value=99)
+        base = simulate(trace, warmup=500)
+        lvp = simulate(trace, LastValuePredictor(entries=256,
+                                                 confidence=ConfidencePolicy()),
+                       warmup=500)
+        assert lvp.ipc > base.ipc * 1.5
+        assert lvp.accuracy == pytest.approx(1.0)
+        assert lvp.coverage > 0.8
+
+    def test_wrong_used_predictions_squash(self):
+        """A value stream that traps the confidence counters: saturate on a
+        run of constants, then switch."""
+        uops = []
+        for i in range(6000):
+            value = (i // 40) * 1000  # switches every 40 occurrences
+            uops.append(MicroOp(seq=2 * i, pc=0x400, op_class=OpClass.INT_ALU,
+                                srcs=(), dst=0, value=value))
+            uops.append(MicroOp(seq=2 * i + 1, pc=0x404, op_class=OpClass.INT_ALU,
+                                srcs=(0,), dst=1, value=i))
+        trace = Trace(uops, name="trap")
+        lvp = LastValuePredictor(entries=256, confidence=ConfidencePolicy())
+        result = simulate(trace, lvp, warmup=1000)
+        assert result.vp_squashes > 20
+
+    def test_unused_wrong_prediction_harmless(self):
+        """Wrong predictions that no dependent consumed before execution
+        must not squash (Section 7.2.1)."""
+        uops = []
+        for i in range(3000):
+            value = (i // 40) * 1000
+            # Producer with NO consumers at all.
+            uops.append(MicroOp(seq=i, pc=0x400, op_class=OpClass.INT_ALU,
+                                srcs=(), dst=5, value=value))
+        trace = Trace(uops, name="noconsumer")
+        lvp = LastValuePredictor(entries=256, confidence=ConfidencePolicy())
+        result = simulate(trace, lvp, warmup=500)
+        assert result.vp_squashes == 0
+
+    def test_selective_reissue_cheaper_than_squash(self):
+        uops = []
+        for i in range(6000):
+            value = (i // 40) * 1000
+            uops.append(MicroOp(seq=2 * i, pc=0x400, op_class=OpClass.INT_ALU,
+                                srcs=(), dst=0, value=value))
+            uops.append(MicroOp(seq=2 * i + 1, pc=0x404, op_class=OpClass.INT_ALU,
+                                srcs=(0,), dst=1, value=i))
+        trace = Trace(uops, name="trap")
+
+        def run(mode):
+            cfg = CoreConfig(recovery=mode)
+            lvp = LastValuePredictor(entries=256, confidence=ConfidencePolicy())
+            return simulate(trace, lvp, config=cfg, warmup=1000)
+
+        squash = run(RecoveryMode.SQUASH_COMMIT)
+        reissue = run(RecoveryMode.SELECTIVE_REISSUE)
+        assert reissue.ipc >= squash.ipc
+        assert reissue.vp_reissues > 0
+        assert squash.vp_squashes > 0
+
+    def test_stats_accounting_consistent(self):
+        trace = chain_trace(2000, value=5)
+        lvp = LastValuePredictor(entries=64, confidence=ConfidencePolicy())
+        r = simulate(trace, lvp, warmup=200)
+        assert r.vp_used == r.vp_correct_used + r.vp_wrong_used
+        assert r.vp_used <= r.vp_predicted <= r.vp_eligible
+        assert r.n_uops == 1800
+
+
+class TestStageTrace:
+    def test_stage_ordering_invariants(self):
+        trace = chain_trace(500)
+        stages = []
+        model = CoreModel(CoreConfig(), None)
+        model.run(trace, stage_trace=stages)
+        for seq, fetch, dispatch, ready, issue, complete, commit in stages:
+            assert fetch <= dispatch <= issue <= complete <= commit
+            assert dispatch - fetch >= 15  # front-end depth
+
+    def test_commit_monotone(self):
+        trace = independent_trace(500)
+        stages = []
+        CoreModel(CoreConfig(), None).run(trace, stage_trace=stages)
+        commits = [s[-1] for s in stages]
+        assert commits == sorted(commits)
+
+
+class TestLoadStoreTiming:
+    def _mem_trace(self, n, same_addr=True):
+        """A slow producer feeds each store, so a blind load to the same
+        address genuinely reads before the store data is ready."""
+        uops = []
+        for i in range(n):
+            addr = 0x1000 if same_addr else 0x1000 + i * 64
+            uops.append(MicroOp(seq=3 * i, pc=0x3F8, op_class=OpClass.INT_DIV,
+                                srcs=(), dst=1, value=i))
+            uops.append(MicroOp(seq=3 * i + 1, pc=0x400, op_class=OpClass.STORE,
+                                srcs=(1,), dst=None, mem_addr=addr, value=0))
+            uops.append(MicroOp(seq=3 * i + 2, pc=0x404, op_class=OpClass.LOAD,
+                                srcs=(), dst=2, mem_addr=addr, value=i))
+        return Trace(uops, name="mem")
+
+    def test_store_load_violation_detected_then_learned(self):
+        result = simulate(self._mem_trace(2000), warmup=0)
+        assert result.mem_violations >= 1
+        # Store sets learn the dependence: violations stay rare.
+        assert result.mem_violations < 50
+
+    def test_speedup_over_requires_same_workload(self):
+        a = simulate(self._mem_trace(100), warmup=0)
+        b = simulate(independent_trace(100), warmup=0)
+        with pytest.raises(ValueError):
+            a.speedup_over(b)

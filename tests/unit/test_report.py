@@ -1,0 +1,54 @@
+"""Unit tests for text report rendering."""
+
+import pytest
+
+from repro.analysis.report import ascii_bar_chart, format_table, geometric_mean
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [["x", "1"], ["yyyy", "22"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "yyyy" in lines[-1]
+
+    def test_title(self):
+        out = format_table(["c"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_non_string_cells(self):
+        out = format_table(["n"], [[3.5], [7]])
+        assert "3.5" in out and "7" in out
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = ascii_bar_chart({"a": 2.0, "b": 1.5}, baseline=1.0)
+        line_a, line_b = out.splitlines()
+        assert line_a.count("#") > line_b.count("#")
+
+    def test_slowdown_marked(self):
+        out = ascii_bar_chart({"slow": 0.8}, baseline=1.0)
+        assert "<" in out
+
+    def test_empty(self):
+        assert ascii_bar_chart({}, title="t") == "t"
+
+    def test_value_formatting(self):
+        out = ascii_bar_chart({"a": 1.234}, fmt="{:.1f}")
+        assert "1.2" in out
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_identity(self):
+        assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,87 @@
+"""Unit tests for the pipeline resource primitives."""
+
+import pytest
+
+from repro.pipeline.resources import (
+    BandwidthLimiter,
+    InOrderWindow,
+    OutOfOrderWindow,
+    UnitPool,
+)
+
+
+class TestBandwidthLimiter:
+    def test_width_grants_per_cycle(self):
+        bw = BandwidthLimiter(2)
+        cycles = [bw.grant(10) for _ in range(5)]
+        assert cycles == [10, 10, 11, 11, 12]
+
+    def test_out_of_order_requests(self):
+        bw = BandwidthLimiter(1)
+        assert bw.grant(5) == 5
+        assert bw.grant(3) == 3
+        assert bw.grant(3) == 4
+        # Cycles 4 and 5 are both taken now, so the next slot is 6.
+        assert bw.grant(4) == 6
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            BandwidthLimiter(0)
+
+
+class TestUnitPool:
+    def test_pipelined_throughput(self):
+        pool = UnitPool(2)
+        starts = [pool.grant(0, occupancy=1) for _ in range(4)]
+        assert starts == [0, 0, 1, 1]
+
+    def test_non_pipelined_occupancy(self):
+        pool = UnitPool(1)
+        first = pool.grant(0, occupancy=25)
+        second = pool.grant(0, occupancy=25)
+        assert first == 0 and second == 25
+
+    def test_units_independent(self):
+        pool = UnitPool(4)
+        starts = [pool.grant(0, occupancy=10) for _ in range(4)]
+        assert starts == [0, 0, 0, 0]
+        assert pool.grant(0, occupancy=10) == 10
+
+
+class TestInOrderWindow:
+    def test_unconstrained_until_full(self):
+        window = InOrderWindow(2)
+        assert window.acquire(5) == 5
+        window.push_release(100)
+        assert window.acquire(6) == 6
+        window.push_release(200)
+        # Third entry waits for the oldest release.
+        assert window.acquire(7) == 100
+
+    def test_no_stall_when_release_passed(self):
+        window = InOrderWindow(1)
+        window.push_release(3)
+        assert window.acquire(10) == 10
+        assert window.stalls == 0
+
+    def test_occupancy(self):
+        window = InOrderWindow(4)
+        window.push_release(1)
+        window.push_release(2)
+        assert window.occupancy == 2
+
+
+class TestOutOfOrderWindow:
+    def test_waits_for_earliest_release(self):
+        window = OutOfOrderWindow(2)
+        window.acquire(0)
+        window.push_release(50)
+        window.acquire(0)
+        window.push_release(20)  # out of order: releases earlier
+        assert window.acquire(0) == 20
+
+    def test_capacity_one(self):
+        window = OutOfOrderWindow(1)
+        assert window.acquire(0) == 0
+        window.push_release(9)
+        assert window.acquire(0) == 9

@@ -1,0 +1,159 @@
+"""Unit tests for the VTAGE predictor (Section 6)."""
+
+import pytest
+
+from repro.core.confidence import ConfidencePolicy
+from repro.core.vtage import PAPER_HISTORY_LENGTHS, VTAGEPredictor
+from repro.predictors.base import PredictionContext
+
+
+def make_vtage(**kwargs):
+    defaults = dict(base_entries=1024, tagged_entries=128,
+                    confidence=ConfidencePolicy())
+    defaults.update(kwargs)
+    return VTAGEPredictor(**defaults)
+
+
+class TestVTAGEStructure:
+    def test_paper_history_lengths_geometric(self):
+        assert PAPER_HISTORY_LENGTHS == (2, 4, 8, 16, 32, 64)
+        for a, b in zip(PAPER_HISTORY_LENGTHS, PAPER_HISTORY_LENGTHS[1:]):
+            assert b == 2 * a
+
+    def test_tag_widths_are_12_plus_rank(self):
+        v = VTAGEPredictor(base_entries=8192, tagged_entries=1024)
+        assert [c.tag_bits for c in v.components] == [13, 14, 15, 16, 17, 18]
+
+    def test_storage_matches_table1(self):
+        v = VTAGEPredictor(base_entries=8192, tagged_entries=1024)
+        assert v.storage_kb() == pytest.approx(68.6 + 64.1, abs=0.1)
+
+    def test_rejects_unsorted_history_lengths(self):
+        with pytest.raises(ValueError):
+            make_vtage(history_lengths=(4, 2, 8))
+
+    def test_rejects_non_power_of_two_entries(self):
+        with pytest.raises(ValueError):
+            make_vtage(base_entries=1000)
+
+
+class TestVTAGEPrediction:
+    def test_learns_constant_via_base(self):
+        v = make_vtage()
+        ctx = PredictionContext()
+        hits = 0
+        for _ in range(40):
+            pred = v.lookup(0x1234, ctx)
+            if pred.confident and pred.value == 42:
+                hits += 1
+            v.train(0x1234, 42, pred)
+        assert hits > 25
+
+    def test_learns_branch_correlated_values(self):
+        """The signature VTAGE capability: values selected by recent branch
+        outcomes, invisible to any per-instruction predictor."""
+        v = make_vtage()
+        ctx = PredictionContext()
+        import random
+        rng = random.Random(7)
+        correct_confident = 0
+        total_confident = 0
+        for i in range(4000):
+            taken = rng.random() < 0.5
+            ctx.push_branch(taken, 0x400 + (i % 3) * 4)
+            value = 111 if taken else 999  # value == f(last branch)
+            pred = v.lookup(0x1234, ctx)
+            if pred.confident:
+                total_confident += 1
+                if pred.value == value:
+                    correct_confident += 1
+            v.train(0x1234, value, pred)
+        assert total_confident > 500
+        assert correct_confident / total_confident > 0.98
+
+    def test_captures_short_periodic_pattern_with_loop_branches(self):
+        """Section 6: VTAGE 'can still capture short strided patterns' and
+        control-flow independent patterns shorter than its history."""
+        v = make_vtage()
+        ctx = PredictionContext()
+        pattern = [5, 6, 7, 8]
+        hits = 0
+        for i in range(3000):
+            # A loop branch per iteration: position mod 4 is visible in the
+            # low history bits.
+            ctx.push_branch(i % 4 == 3, 0x500)
+            value = pattern[i % 4]
+            pred = v.lookup(0x1234, ctx)
+            if pred.confident and pred.value == value:
+                hits += 1
+            v.train(0x1234, value, pred)
+        assert hits > 1200
+
+    def test_no_speculative_state(self):
+        """VTAGE predicts back-to-back occurrences without any last-value
+        tracking: lookups with no intervening training are identical."""
+        v = make_vtage()
+        ctx = PredictionContext()
+        for _ in range(20):
+            pred = v.lookup(0x777, ctx)
+            v.train(0x777, 31337, pred)
+        p1 = v.lookup(0x777, ctx)
+        v.speculate(0x777, p1)
+        p2 = v.lookup(0x777, ctx)
+        assert p1.value == p2.value
+        v.on_squash()  # must be a no-op
+        assert v.lookup(0x777, ctx).value == p1.value
+
+
+class TestVTAGEUpdate:
+    def test_allocation_on_misprediction(self):
+        v = make_vtage()
+        ctx = PredictionContext(ghist=0b1010, ghist_length=4)
+        pred = v.lookup(0x1234, ctx)
+        v.train(0x1234, 55, pred)  # base allocates/learns
+        pred = v.lookup(0x1234, ctx)
+        v.train(0x1234, 77, pred)  # mispredict: tagged allocation
+        allocated = any(
+            any(tag != -1 for tag in comp.tags) for comp in v.components
+        )
+        assert allocated
+
+    def test_value_replaced_only_when_confidence_zero(self):
+        """Section 6 footnote: on a misprediction val is replaced if c == 0."""
+        v = make_vtage()
+        ctx = PredictionContext()
+        for _ in range(20):
+            pred = v.lookup(0x42, ctx)
+            v.train(0x42, 1000, pred)
+        # One misprediction: confidence resets but the value survives.
+        pred = v.lookup(0x42, ctx)
+        assert pred.value == 1000
+        v.train(0x42, 2000, pred)
+        assert v.lookup(0x42, ctx).value == 1000
+        # Second misprediction at c == 0: now the value is replaced.
+        pred = v.lookup(0x42, ctx)
+        v.train(0x42, 2000, pred)
+        assert v.lookup(0x42, ctx).value == 2000
+
+    def test_unproven_tagged_entry_does_not_shadow_base(self):
+        """A newly allocated tagged entry must not steal coverage from a
+        confident base entry (the ITTAGE use-alt-on-NA rule)."""
+        v = make_vtage()
+        ctx = PredictionContext(ghist=0b110011, ghist_length=6)
+        # Saturate the base on a constant.
+        for _ in range(30):
+            pred = v.lookup(0x88, ctx)
+            v.train(0x88, 424242, pred)
+        assert v.lookup(0x88, ctx).confident
+        # A single outlier mispredicts and allocates a tagged entry.
+        pred = v.lookup(0x88, ctx)
+        v.train(0x88, 555, pred)
+        # The stream resumes; coverage must return quickly (via base/alt),
+        # not be held hostage by the unproven tagged entry.
+        confident_again = 0
+        for _ in range(30):
+            pred = v.lookup(0x88, ctx)
+            if pred.confident and pred.value == 424242:
+                confident_again += 1
+            v.train(0x88, 424242, pred)
+        assert confident_again > 10
