@@ -3,9 +3,17 @@
 Usage examples::
 
     python -m repro.cli run h264ref --predictor vtage-2dstride
+    python -m repro.cli -j 4 figure 4 --uops 8000 --warmup 4000
     python -m repro.cli table 1
-    python -m repro.cli figure 4 --uops 8000 --warmup 4000 --workloads crafty,gcc
+    python -m repro.cli cache show
+    python -m repro.cli cache clear
     python -m repro.cli list
+
+All simulations go through the experiment engine: ``--jobs/-j`` (or the
+``REPRO_JOBS`` environment variable) selects how many worker processes run
+the job batches, and ``REPRO_CACHE_DIR`` (or ``--cache-dir``) enables the
+persistent result cache that ``cache show``/``cache clear`` manage.
+Results are bit-identical whatever the parallelism or cache state.
 """
 
 from __future__ import annotations
@@ -13,13 +21,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.engine.api import configure_default_engine, default_engine
+from repro.engine.cache import CACHE_DIR_ENV
+from repro.engine.executors import JOBS_ENV
 from repro.experiments import figures, tables
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
     PREDICTOR_NAMES,
     baseline_result,
-    make_predictor,
     run_workload,
 )
 from repro.workloads.catalog import ALL_WORKLOADS, WORKLOADS
@@ -46,10 +56,9 @@ def _parse_workloads(raw: str | None) -> tuple[str, ...]:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    predictor = make_predictor(args.predictor, fpc=not args.no_fpc,
-                               recovery=args.recovery)
-    result = run_workload(args.workload, predictor, n_uops=args.uops,
-                          warmup=args.warmup, recovery=args.recovery)
+    result = run_workload(args.workload, args.predictor, n_uops=args.uops,
+                          warmup=args.warmup, recovery=args.recovery,
+                          fpc=not args.no_fpc)
     print(result.summary_line())
     if args.predictor != "none":
         base = baseline_result(args.workload, n_uops=args.uops,
@@ -84,11 +93,41 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = default_engine().cache
+    if args.action == "show":
+        stats = cache.stats()
+        if stats["directory"] is None:
+            print(f"persistent cache: disabled (set ${CACHE_DIR_ENV} or pass "
+                  "--cache-dir to enable)")
+        else:
+            print(f"persistent cache: {stats['directory']}")
+            print(f"  entries: {stats['disk_entries']}")
+        print(f"in-process entries: {stats['memory_entries']}")
+        return 0
+    # clear
+    removed = cache.clear(disk=True)
+    where = cache.directory or "memory-only cache"
+    print(f"cleared {removed} persisted result(s) from {where}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Perais & Seznec, HPCA 2014 "
                     "(VTAGE + FPC value prediction).",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for simulation batches "
+             f"(default: ${JOBS_ENV} or 1; results are bit-identical "
+             "regardless of parallelism)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist simulation results under DIR and reuse them on "
+             f"later runs (default: ${CACHE_DIR_ENV} or memory-only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -116,6 +155,16 @@ def build_parser() -> argparse.ArgumentParser:
     figure_p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
     figure_p.set_defaults(fn=cmd_figure)
 
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect or clear the persistent result cache",
+        description="Manage the engine's result cache.  'show' prints the "
+                    "cache location and entry counts; 'clear' removes every "
+                    "persisted result.",
+    )
+    cache_p.add_argument("action", choices=("show", "clear"))
+    cache_p.set_defaults(fn=cmd_cache)
+
     list_p = sub.add_parser("list", help="list predictors and workloads")
     list_p.set_defaults(fn=cmd_list)
     return parser
@@ -123,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_default_engine(jobs=args.jobs, cache_dir=args.cache_dir)
     return args.fn(args)
 
 

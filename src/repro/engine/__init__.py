@@ -1,0 +1,57 @@
+"""Unified experiment engine (see DESIGN.md, "Experiment engine").
+
+Declarative :class:`~repro.engine.job.SimJob` specs, pluggable executors
+(serial / multiprocessing pool, selected by ``REPRO_JOBS``), a persistent
+result cache (``REPRO_CACHE_DIR``) and the batch API every experiment
+driver runs on.
+"""
+
+from repro.engine.api import (
+    Engine,
+    configure_default_engine,
+    default_engine,
+    reset_default_engine,
+    run_grid,
+    run_job,
+    run_jobs,
+)
+from repro.engine.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.engine.executors import (
+    JOBS_ENV,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_jobs,
+)
+from repro.engine.job import (
+    DEFAULT_MEASURE,
+    DEFAULT_WARMUP,
+    SimJob,
+    execute_job,
+    reset_run_count,
+    run_count,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_MEASURE",
+    "DEFAULT_WARMUP",
+    "Engine",
+    "JOBS_ENV",
+    "PoolExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "SimJob",
+    "configure_default_engine",
+    "default_cache_dir",
+    "default_engine",
+    "execute_job",
+    "make_executor",
+    "reset_default_engine",
+    "reset_run_count",
+    "resolve_jobs",
+    "run_count",
+    "run_grid",
+    "run_job",
+    "run_jobs",
+]

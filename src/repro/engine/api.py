@@ -1,0 +1,171 @@
+"""The experiment engine: batch execution of job grids with caching.
+
+Every driver (``runner``, ``figures``, ``reproduce``, the CLI, the
+benchmark harness) funnels simulations through an :class:`Engine`, which
+composes one executor with one result cache:
+
+* duplicate jobs inside a batch run once (content-key deduplication);
+* previously-seen jobs are answered from the cache (memory, then disk);
+* only the remaining misses go to the executor, in submission order.
+
+``default_engine()`` builds a process-wide engine from the environment
+(``REPRO_JOBS``, ``REPRO_CACHE_DIR``); ``configure_default_engine`` lets
+entry points (CLI ``--jobs``, ``reproduce --jobs``) override it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.executors import (
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.job import SimJob
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.result import SimResult
+
+
+class Engine:
+    """One executor + one result cache; the unit every driver talks to."""
+
+    def __init__(
+        self,
+        executor: SerialExecutor | PoolExecutor | None = None,
+        cache: ResultCache | None = None,
+    ):
+        self.executor = executor if executor is not None else make_executor()
+        self.cache = cache if cache is not None else ResultCache(default_cache_dir())
+
+    def describe(self) -> str:
+        where = self.cache.directory or "memory-only"
+        return f"executor={self.executor.describe()} cache={where}"
+
+    def run_jobs(self, jobs: Sequence[SimJob]) -> list[SimResult]:
+        """Run a batch of jobs; returns results in submission order.
+
+        Cache hits never reach the executor, and spec-identical jobs in
+        one batch are simulated exactly once.
+        """
+        results: list[SimResult | None] = [None] * len(jobs)
+        pending: dict[str, list[int]] = {}
+        pending_jobs: list[SimJob] = []
+        for i, job in enumerate(jobs):
+            cached = self.cache.get(job)
+            if cached is not None:
+                results[i] = cached
+                continue
+            key = job.content_key()
+            if key in pending:
+                pending[key].append(i)
+            else:
+                pending[key] = [i]
+                pending_jobs.append(job)
+        if pending_jobs:
+            computed = self.executor.run(pending_jobs)
+            for job, result in zip(pending_jobs, computed):
+                self.cache.put(job, result)
+                for i in pending[job.content_key()]:
+                    results[i] = result
+        return results  # type: ignore[return-value]
+
+    def run_job(self, job: SimJob) -> SimResult:
+        return self.run_jobs([job])[0]
+
+    def run_grid(
+        self,
+        predictors: Iterable[str],
+        workloads: Iterable[str],
+        *,
+        n_uops: int,
+        warmup: int,
+        fpc: bool = True,
+        recovery: str = "squash",
+        entries: int = 8192,
+        config: CoreConfig | None = None,
+    ) -> dict[tuple[str, str], SimResult]:
+        """Sweep predictors × workloads; returns ``(predictor, workload)``-keyed results."""
+        preds = tuple(predictors)
+        wls = tuple(workloads)
+        jobs = [
+            SimJob.make(w, p, fpc=fpc, recovery=recovery, entries=entries,
+                        n_uops=n_uops, warmup=warmup, config=config)
+            for p in preds
+            for w in wls
+        ]
+        results = self.run_jobs(jobs)
+        return {
+            (p, w): results[pi * len(wls) + wi]
+            for pi, p in enumerate(preds)
+            for wi, w in enumerate(wls)
+        }
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default engine.
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ENGINE: Engine | None = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine, built lazily from the environment."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine()
+    return _DEFAULT_ENGINE
+
+
+def configure_default_engine(
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+) -> Engine:
+    """Rebuild the default engine with explicit knobs.
+
+    ``jobs=None`` / ``cache_dir=None`` fall back to ``REPRO_JOBS`` /
+    ``REPRO_CACHE_DIR``; an empty ``cache_dir`` string forces a
+    memory-only cache regardless of the environment.  Returns the new
+    engine.
+    """
+    global _DEFAULT_ENGINE
+    if cache_dir is None:
+        directory = default_cache_dir()
+    else:
+        directory = cache_dir or None
+    _DEFAULT_ENGINE = Engine(executor=make_executor(jobs),
+                             cache=ResultCache(directory))
+    return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Drop the default engine (next use rebuilds from the environment)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = None
+
+
+def run_jobs(jobs: Sequence[SimJob], engine: Engine | None = None) -> list[SimResult]:
+    return (engine or default_engine()).run_jobs(jobs)
+
+
+def run_job(job: SimJob, engine: Engine | None = None) -> SimResult:
+    return (engine or default_engine()).run_job(job)
+
+
+def run_grid(
+    predictors: Iterable[str],
+    workloads: Iterable[str],
+    *,
+    n_uops: int,
+    warmup: int,
+    fpc: bool = True,
+    recovery: str = "squash",
+    entries: int = 8192,
+    config: CoreConfig | None = None,
+    engine: Engine | None = None,
+) -> dict[tuple[str, str], SimResult]:
+    return (engine or default_engine()).run_grid(
+        predictors, workloads, n_uops=n_uops, warmup=warmup, fpc=fpc,
+        recovery=recovery, entries=entries, config=config,
+    )

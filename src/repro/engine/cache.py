@@ -1,0 +1,151 @@
+"""Result caching: an in-process layer plus a persistent JSON store.
+
+Every cache entry is keyed by the owning job's content key (a digest of
+the full job spec, including the core-config content), so a hit is only
+possible for a spec-identical simulation.  The disk layout is one small
+JSON file per result under ``<dir>/<key[:2]>/<key>.json`` — entries are
+written atomically (temp file + rename) so concurrent executors never
+observe torn files.
+
+The disk layer is optional: by default the engine runs memory-only, and
+persists when ``REPRO_CACHE_DIR`` (or the CLI ``--cache-dir``-equivalent
+configuration) points somewhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.job import SimJob
+from repro.pipeline.result import SimResult
+
+#: Environment variable selecting the persistent cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: On-disk entry format version; mismatched entries are ignored.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path | None:
+    """Resolve the persistent cache directory (None = memory-only)."""
+    raw = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(raw) if raw else None
+
+
+class ResultCache:
+    """Two-level (memory, optional disk) cache of :class:`SimResult`s."""
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, SimResult] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- key plumbing ---------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- lookup/store ---------------------------------------------------
+
+    def get(self, job: SimJob) -> SimResult | None:
+        key = job.content_key()
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.memory_hits += 1
+            return cached
+        if self.directory is not None:
+            path = self._path(key)
+            if path.is_file():
+                try:
+                    entry = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    entry = None
+                if (
+                    entry is not None
+                    and entry.get("version") == CACHE_FORMAT_VERSION
+                ):
+                    result = SimResult.from_dict(entry["result"])
+                    self._memory[key] = result
+                    self.disk_hits += 1
+                    return result
+        self.misses += 1
+        return None
+
+    def put(self, job: SimJob, result: SimResult) -> None:
+        key = job.content_key()
+        self._memory[key] = result
+        self.stores += 1
+        if self.directory is None:
+            return
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "job": job.to_dict(),
+            "result": result.to_dict(),
+        }
+        # A failed persist must never kill a simulation run: the result is
+        # already in the memory layer, the disk copy is an optimisation.
+        # TypeError/ValueError cover results whose ``extra`` dict holds
+        # values json can't encode.
+        try:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            pass
+
+    # -- maintenance ----------------------------------------------------
+
+    def disk_entries(self) -> list[Path]:
+        if self.directory is None or not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("??/*.json"))
+
+    def clear(self, disk: bool = True) -> int:
+        """Drop the memory layer and (optionally) every disk entry.
+
+        Also sweeps ``*.tmp.*`` files orphaned by interrupted writes.
+        Returns the number of disk entries removed.
+        """
+        self._memory.clear()
+        removed = 0
+        if disk:
+            for path in self.disk_entries():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            if self.directory is not None and self.directory.is_dir():
+                for orphan in self.directory.glob("??/*.tmp.*"):
+                    try:
+                        orphan.unlink()
+                    except OSError:
+                        pass
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "directory": str(self.directory) if self.directory else None,
+            "memory_entries": len(self._memory),
+            "disk_entries": len(self.disk_entries()),
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

@@ -1,0 +1,91 @@
+"""Pluggable job executors: serial and multiprocessing pool.
+
+Both backends map :func:`~repro.engine.job.execute_job` over a job list and
+preserve input order.  Because a job spec fully determines its simulation
+(seeded traces, no wall-clock anywhere in the model) and results round-trip
+losslessly through ``SimResult.to_dict``/``from_dict``, the two backends
+are bit-identical — the equivalence test in
+``tests/unit/test_engine.py`` pins that guarantee.
+
+The default backend is picked from the ``REPRO_JOBS`` environment variable
+(or an explicit ``--jobs`` flag further up): ``<= 1`` means serial,
+anything larger a pool of that many worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.engine.job import SimJob, execute_job
+from repro.pipeline.result import SimResult
+
+#: Environment variable selecting the default parallelism.
+JOBS_ENV = "REPRO_JOBS"
+
+
+class SerialExecutor:
+    """Run jobs one after the other in the current process."""
+
+    jobs = 1
+
+    def run(self, jobs: list[SimJob]) -> list[SimResult]:
+        return [execute_job(job) for job in jobs]
+
+    def describe(self) -> str:
+        return "serial"
+
+
+def _execute_to_dict(job: SimJob) -> dict:
+    """Worker entry point: run one job, ship the result as a plain dict."""
+    return execute_job(job).to_dict()
+
+
+class PoolExecutor:
+    """Run jobs on a ``multiprocessing`` pool of worker processes.
+
+    Results travel back as ``to_dict()`` payloads and are rebuilt in the
+    parent, so the transport is exactly the round-trip the unit tests pin
+    as lossless.  ``chunksize=1`` keeps scheduling fair when job costs vary
+    by orders of magnitude (oracle vs hybrid predictors).
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 2:
+            raise ValueError("PoolExecutor needs >= 2 workers; use SerialExecutor")
+        self.jobs = int(jobs)
+
+    def run(self, jobs: list[SimJob]) -> list[SimResult]:
+        if not jobs:
+            return []
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        workers = min(self.jobs, len(jobs))
+        if workers < 2:
+            return SerialExecutor().run(jobs)
+        with ctx.Pool(processes=workers) as pool:
+            payloads = pool.map(_execute_to_dict, jobs, chunksize=1)
+        return [SimResult.from_dict(payload) for payload in payloads]
+
+    def describe(self) -> str:
+        return f"pool({self.jobs})"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Pick the parallelism: explicit value wins, then ``REPRO_JOBS``."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 1
+
+
+def make_executor(jobs: int | None = None) -> SerialExecutor | PoolExecutor:
+    n = resolve_jobs(jobs)
+    return SerialExecutor() if n <= 1 else PoolExecutor(n)

@@ -1,12 +1,19 @@
 """Experiment plumbing: predictor construction, runs, sweeps and caching.
 
 Every figure driver composes three things: a predictor configuration (by
-name), a set of workloads, and the core's recovery mode.  Baseline (no-VP)
-runs are cached per (workload, trace-length) pair since every speedup in
-the paper is relative to the same baseline core.
+name), a set of workloads, and the core's recovery mode.  All runs go
+through the experiment engine (:mod:`repro.engine`): jobs are declarative
+:class:`~repro.engine.job.SimJob` specs, executed serially or on a
+``REPRO_JOBS``-sized process pool, and memoised in the engine's result
+cache.  Baseline (no-VP) runs are therefore computed once per
+(workload, slice, core-config) — the config is part of the content key, so
+speedups under a custom :class:`CoreConfig` never compare against a
+default-config baseline.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 from repro.core.confidence import (
     ConfidencePolicy,
@@ -15,6 +22,8 @@ from repro.core.confidence import (
 )
 from repro.core.hybrid import HybridPredictor
 from repro.core.vtage import VTAGEPredictor
+from repro.engine.api import Engine, default_engine, run_jobs
+from repro.engine.job import DEFAULT_MEASURE, DEFAULT_WARMUP, SimJob
 from repro.pipeline.config import CoreConfig, RecoveryMode
 from repro.pipeline.core import simulate
 from repro.pipeline.result import SimResult
@@ -29,10 +38,8 @@ from repro.predictors.stride import (
 )
 from repro.workloads.catalog import ALL_WORKLOADS, build_trace
 
-#: Default slice sizes.  The paper warms 50 M µops and measures 50 M; a
-#: pure-Python cycle model scales that down (DESIGN.md, "Scaling defaults").
-DEFAULT_WARMUP = 12_000
-DEFAULT_MEASURE = 36_000
+# DEFAULT_WARMUP / DEFAULT_MEASURE are defined canonically next to SimJob
+# (repro.engine.job) and re-exported here for the many existing callers.
 
 PREDICTOR_NAMES = (
     "none",
@@ -118,13 +125,30 @@ def make_predictor(
 
 def run_workload(
     workload: str,
-    predictor: ValuePredictor | None,
+    predictor: ValuePredictor | str | None,
     n_uops: int = DEFAULT_MEASURE,
     warmup: int = DEFAULT_WARMUP,
     recovery: str = "squash",
     config: CoreConfig | None = None,
+    fpc: bool = True,
+    entries: int = 8192,
+    engine: Engine | None = None,
 ) -> SimResult:
-    """Simulate one workload on a fresh core with *predictor*."""
+    """Simulate one workload on a fresh core with *predictor*.
+
+    *predictor* may be a configuration name (or ``None`` for the no-VP
+    baseline), in which case the run is a declarative job routed through
+    the engine — cached, and parallelisable in batches.  Passing a live
+    :class:`ValuePredictor` instance is the escape hatch for custom
+    predictor objects; those runs bypass the engine since an arbitrary
+    instance has no content key.
+    """
+    if predictor is None or isinstance(predictor, str):
+        job = SimJob.make(
+            workload, predictor or "none", fpc=fpc, recovery=recovery,
+            entries=entries, n_uops=n_uops, warmup=warmup, config=config,
+        )
+        return (engine or default_engine()).run_job(job)
     trace = build_trace(workload, warmup + n_uops)
     if config is None:
         config = CoreConfig(
@@ -135,21 +159,61 @@ def run_workload(
     return simulate(trace, predictor, config=config, warmup=warmup, workload=workload)
 
 
-# Baselines depend only on trace length (no VP, recovery irrelevant).
-_BASELINE_CACHE: dict[tuple[str, int, int], SimResult] = {}
+def baseline_job(
+    workload: str,
+    n_uops: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    config: CoreConfig | None = None,
+) -> SimJob:
+    """The no-VP baseline job every speedup is measured against.
+
+    The job's content key includes the full core configuration, so a
+    custom-config run gets a matching custom-config baseline.  Recovery is
+    normalised to squash-at-commit: with no predictor the VP recovery
+    mechanism never fires, and normalising lets both recovery sweeps share
+    one cached baseline per config.
+    """
+    if config is not None and config.recovery is not RecoveryMode.SQUASH_COMMIT:
+        config = replace(config, recovery=RecoveryMode.SQUASH_COMMIT)
+    return SimJob.make(workload, "none", recovery="squash",
+                       n_uops=n_uops, warmup=warmup, config=config)
 
 
 def baseline_result(
-    workload: str, n_uops: int = DEFAULT_MEASURE, warmup: int = DEFAULT_WARMUP
+    workload: str,
+    n_uops: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    config: CoreConfig | None = None,
+    engine: Engine | None = None,
 ) -> SimResult:
-    key = (workload, n_uops, warmup)
-    if key not in _BASELINE_CACHE:
-        _BASELINE_CACHE[key] = run_workload(workload, None, n_uops=n_uops, warmup=warmup)
-    return _BASELINE_CACHE[key]
+    job = baseline_job(workload, n_uops=n_uops, warmup=warmup, config=config)
+    return (engine or default_engine()).run_job(job)
 
 
 def clear_baseline_cache() -> None:
-    _BASELINE_CACHE.clear()
+    """Drop memoised results (baselines included) from the default engine."""
+    default_engine().cache.clear(disk=False)
+
+
+def suite_jobs(
+    predictor_name: str,
+    workloads: tuple[str, ...],
+    n_uops: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    fpc: bool = True,
+    recovery: str = "squash",
+) -> list[SimJob]:
+    """The job list :func:`run_suite` executes, one job per workload.
+
+    Exposed so figure drivers can pre-batch several suites (plus the
+    baselines) in a single ``run_jobs`` submission with specs guaranteed
+    identical to the per-suite lookups that follow.
+    """
+    return [
+        SimJob.make(workload, predictor_name, fpc=fpc, recovery=recovery,
+                    n_uops=n_uops, warmup=warmup)
+        for workload in workloads
+    ]
 
 
 def run_suite(
@@ -159,24 +223,30 @@ def run_suite(
     warmup: int = DEFAULT_WARMUP,
     fpc: bool = True,
     recovery: str = "squash",
+    engine: Engine | None = None,
 ) -> dict[str, SimResult]:
-    """Run one predictor configuration over a set of workloads."""
-    results = {}
-    for workload in workloads:
-        predictor = make_predictor(predictor_name, fpc=fpc, recovery=recovery)
-        results[workload] = run_workload(
-            workload, predictor, n_uops=n_uops, warmup=warmup, recovery=recovery
-        )
-    return results
+    """Run one predictor configuration over a set of workloads (one batch)."""
+    jobs = suite_jobs(predictor_name, workloads, n_uops, warmup,
+                      fpc=fpc, recovery=recovery)
+    results = run_jobs(jobs, engine=engine)
+    return dict(zip(workloads, results))
 
 
 def speedups(
     results: dict[str, SimResult],
     n_uops: int = DEFAULT_MEASURE,
     warmup: int = DEFAULT_WARMUP,
+    config: CoreConfig | None = None,
+    engine: Engine | None = None,
 ) -> dict[str, float]:
-    """Speedup of each run over the cached no-VP baseline."""
+    """Speedup of each run over the engine-cached no-VP baseline.
+
+    Baselines for all workloads are submitted as one batch so a pool
+    executor computes them in parallel on a cold cache.
+    """
+    jobs = [baseline_job(w, n_uops, warmup, config=config) for w in results]
+    baselines = run_jobs(jobs, engine=engine)
     return {
-        workload: result.speedup_over(baseline_result(workload, n_uops, warmup))
-        for workload, result in results.items()
+        workload: result.speedup_over(base)
+        for (workload, result), base in zip(results.items(), baselines)
     }

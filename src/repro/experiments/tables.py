@@ -7,6 +7,12 @@
   :class:`~repro.pipeline.config.CoreConfig` defaults.
 * Table 3 — the benchmark suite with reference inputs, rendered from the
   workload catalog.
+
+Unlike the figure drivers, tables perform no simulation, so they are the
+one experiment layer that does not submit jobs to the experiment engine
+(:mod:`repro.engine`); they recompute storage budgets and render live
+defaults directly.  See DESIGN.md's experiment index for the full
+figure/table → driver → bench-target map.
 """
 
 from __future__ import annotations

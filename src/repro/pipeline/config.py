@@ -8,7 +8,9 @@ cycles.  We chose a slow front-end (15 cycles) coupled to a swift back-end
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
 
 from repro.isa.uop import OpClass
 
@@ -35,6 +37,15 @@ class FUTiming:
     @property
     def occupancy(self) -> int:
         return 1 if self.pipelined else self.latency
+
+    def to_dict(self) -> dict:
+        return {"units": self.units, "latency": self.latency,
+                "pipelined": self.pipelined}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FUTiming":
+        return cls(units=data["units"], latency=data["latency"],
+                   pipelined=data.get("pipelined", True))
 
 
 @dataclass
@@ -100,3 +111,45 @@ class CoreConfig:
     def min_branch_penalty(self) -> int:
         """Minimum branch misprediction penalty (Table 2 targets 20)."""
         return self.redirect_extra + self.frontend_depth + 3
+
+    # ------------------------------------------------------------------
+    # Serialisation and content addressing (used by the experiment engine
+    # for job specs, the on-disk result cache and multiprocessing
+    # transport; see DESIGN.md, "Experiment engine").
+
+    def to_dict(self) -> dict:
+        """Lossless, JSON-safe view of every structural parameter."""
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "fu":
+                out["fu"] = {op.name: timing.to_dict()
+                             for op, timing in value.items()}
+            elif f.name == "recovery":
+                out["recovery"] = value.value
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreConfig":
+        kwargs = dict(data)
+        kwargs["fu"] = {OpClass[name]: FUTiming.from_dict(timing)
+                        for name, timing in data["fu"].items()}
+        kwargs["recovery"] = RecoveryMode(data["recovery"])
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON rendering (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def content_key(self) -> str:
+        """Short stable digest of the full configuration.
+
+        Two configs share a key iff every structural parameter matches, so
+        the key is safe to use in result-cache keys (the baseline-cache
+        bug this fixes: speedups under a custom config must never compare
+        against a default-config baseline).
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]

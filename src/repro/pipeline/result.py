@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -67,6 +67,26 @@ class SimResult:
         if not baseline.ipc:
             return 0.0
         return self.ipc / baseline.ipc
+
+    def to_dict(self) -> dict:
+        """Lossless, JSON-safe view of every field.
+
+        Used by the experiment engine for the persistent result cache and
+        for shipping results back from pool-executor worker processes, so
+        ``from_dict(to_dict(r)) == r`` must hold for *every* field.
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if f.name == "extra" else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
+        if "extra" in kwargs:
+            kwargs["extra"] = dict(kwargs["extra"])
+        return cls(**kwargs)
 
     def summary_line(self) -> str:
         return (

@@ -1,0 +1,30 @@
+"""Test-suite hermeticity: keep the persistent result cache out of tests.
+
+The drivers under test route simulations through the process-wide default
+engine, which is normally built from ``REPRO_JOBS``/``REPRO_CACHE_DIR``.
+A developer's persistent cache must not leak into assertions (stale
+results from an older simulator would mask regressions) nor test runs
+into their cache, so ``REPRO_CACHE_DIR`` is scrubbed for the whole
+session.  This is session-scoped on purpose: class-scoped driver
+fixtures run before any function-scoped fixture could repin the engine.
+
+``REPRO_JOBS`` deliberately passes through: executor backends are
+bit-identical, and CI exploits that by re-running the experiment tests
+under ``REPRO_JOBS=2``.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.api import reset_default_engine
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_persistent_cache_during_tests():
+    saved = os.environ.pop("REPRO_CACHE_DIR", None)
+    reset_default_engine()
+    yield
+    if saved is not None:
+        os.environ["REPRO_CACHE_DIR"] = saved
+    reset_default_engine()

@@ -1,0 +1,67 @@
+"""SimResult serialisation: to_dict/from_dict must be lossless.
+
+The experiment engine persists results as JSON and ships them across
+process boundaries as dicts, so every field — present and future — has to
+survive the round trip.  The tests iterate ``dataclasses.fields`` instead
+of naming fields so a newly added field cannot silently dodge coverage.
+"""
+
+import dataclasses
+import json
+
+from repro.pipeline.result import SimResult
+
+
+def _fully_populated_result() -> SimResult:
+    """A SimResult with a distinct, non-default value in every field."""
+    kwargs = {}
+    for i, f in enumerate(dataclasses.fields(SimResult)):
+        if f.type in ("int", int):
+            kwargs[f.name] = 1000 + i
+        elif f.type in ("str", str):
+            kwargs[f.name] = f"value-{f.name}"
+        elif f.name == "extra":
+            kwargs[f.name] = {"note": "ablation", "ports": 4}
+        else:  # pragma: no cover - fails loudly on new field kinds
+            raise AssertionError(f"unhandled field type {f.type!r} for {f.name}")
+    return SimResult(**kwargs)
+
+
+class TestRoundTrip:
+    def test_every_field_round_trips(self):
+        original = _fully_populated_result()
+        restored = SimResult.from_dict(original.to_dict())
+        for f in dataclasses.fields(SimResult):
+            assert getattr(restored, f.name) == getattr(original, f.name), f.name
+        assert restored == original
+
+    def test_round_trips_through_json(self):
+        original = _fully_populated_result()
+        restored = SimResult.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert restored == original
+
+    def test_default_result_round_trips(self):
+        original = SimResult()
+        assert SimResult.from_dict(original.to_dict()) == original
+
+    def test_to_dict_covers_every_field(self):
+        data = _fully_populated_result().to_dict()
+        assert set(data) == {f.name for f in dataclasses.fields(SimResult)}
+
+    def test_extra_dict_is_copied(self):
+        original = _fully_populated_result()
+        data = original.to_dict()
+        data["extra"]["mutated"] = True
+        assert "mutated" not in original.extra
+        restored = SimResult.from_dict(data)
+        restored.extra["other"] = 1
+        assert "other" not in data["extra"]
+
+    def test_derived_metrics_survive(self):
+        original = SimResult(workload="gzip", predictor="lvp", n_uops=1000,
+                             cycles=500, vp_eligible=100, vp_used=50,
+                             vp_correct_used=45)
+        restored = SimResult.from_dict(original.to_dict())
+        assert restored.ipc == original.ipc
+        assert restored.coverage == original.coverage
+        assert restored.accuracy == original.accuracy
