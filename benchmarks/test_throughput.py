@@ -1,11 +1,97 @@
-"""Microbenchmarks: raw component throughput (useful for regressions)."""
+"""Microbenchmarks: raw component throughput (useful for regressions).
+
+``test_bench_core_json`` is the PR-2 throughput gate: it measures
+single-job simulation throughput (µops/s) on fixed slices — including the
+profiled ``gcc/vtage`` 48k-µop job — writes ``BENCH_core.json`` at the
+repository root, and fails on a >30% regression against the committed
+``benchmarks/bench_baseline.json``.  It needs only pytest (no
+pytest-benchmark), so CI's perf-smoke job can run it standalone:
+
+    PYTHONPATH=src python -m pytest -q benchmarks/test_throughput.py -k bench_core_json
+"""
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
 
 from repro.analysis.metrics import evaluate_predictor
 from repro.core.confidence import ConfidencePolicy
 from repro.core.vtage import VTAGEPredictor
+from repro.experiments.runner import make_predictor
 from repro.pipeline.core import simulate
 from repro.predictors.stride import TwoDeltaStridePredictor
 from repro.workloads.catalog import build_trace
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_CORE_PATH = _REPO_ROOT / "BENCH_core.json"
+BASELINE_PATH = _REPO_ROOT / "benchmarks" / "bench_baseline.json"
+
+#: Fixed measurement slices: (workload, predictor, µops).  The first entry
+#: is the job the PR-2 issue profiled (gcc/vtage over 48k µops).
+BENCH_CORE_ENTRIES = (
+    ("gcc", "vtage", 48_000),
+    ("gcc", "none", 48_000),
+    ("wupwise", "2dstride", 24_000),
+    ("crafty", "vtage-2dstride", 24_000),
+)
+
+#: Allowed slowdown vs. the committed baseline before the gate fails.
+REGRESSION_TOLERANCE = 0.30
+
+
+def measure_uops_per_s(workload: str, predictor_name: str, n_uops: int,
+                       rounds: int = 5) -> float:
+    """Best-of-*rounds* single-job simulation throughput in µops/s.
+
+    The trace is built (and its columnar view materialised) once up
+    front — trace construction is cached per process in production and is
+    not what this gate guards.  Each round gets a fresh predictor and a
+    fresh core, exactly like one engine job.
+    """
+    trace = build_trace(workload, n_uops)
+    best = 0.0
+    for _ in range(rounds):
+        predictor = make_predictor(predictor_name)
+        start = time.perf_counter()
+        simulate(trace, predictor, warmup=0, workload=workload)
+        elapsed = time.perf_counter() - start
+        best = max(best, n_uops / elapsed)
+    return best
+
+
+def emit_bench_core(path: Path = BENCH_CORE_PATH) -> dict:
+    """Measure every entry and write the BENCH_core.json report."""
+    uops_per_s = {
+        f"{workload}/{predictor}": round(
+            measure_uops_per_s(workload, predictor, n_uops)
+        )
+        for workload, predictor, n_uops in BENCH_CORE_ENTRIES
+    }
+    report = {
+        "schema": 1,
+        "unit": "uops_per_s",
+        "slices": {f"{w}/{p}": n for w, p, n in BENCH_CORE_ENTRIES},
+        "uops_per_s": uops_per_s,
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+    }
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return report
+
+
+def test_bench_core_json():
+    """Emit BENCH_core.json and gate on >30% regression vs the baseline."""
+    report = emit_bench_core()
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    for key, floor in baseline["uops_per_s"].items():
+        measured = report["uops_per_s"].get(key)
+        assert measured is not None, f"benchmark entry {key} disappeared"
+        if measured < (1.0 - REGRESSION_TOLERANCE) * floor:
+            failures.append(f"{key}: {measured} < 70% of baseline {floor}")
+    assert not failures, "throughput regression: " + "; ".join(failures)
 
 
 def test_trace_generation_throughput(benchmark):

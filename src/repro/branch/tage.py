@@ -22,9 +22,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.predictors.base import PredictionContext
-from repro.util.bits import fold_value
-from repro.util.hashing import table_index, tag_hash
+from repro.util.bits import MASK64, fold_value
+from repro.util.hashing import (
+    _KEY_CACHE,
+    _MIX1,
+    _MIX2,
+    TAG_KEY_MULT,
+    scrambled_key,
+    table_index,
+    tag_hash,
+)
+from repro.util.history import compressed_bits
 from repro.util.lfsr import GaloisLFSR
+
+#: Per-component position-memo bound; cleared wholesale when exceeded.
+_MEMO_LIMIT = 1 << 15
 
 
 def geometric_history_lengths(minimum: int, maximum: int, count: int) -> tuple[int, ...]:
@@ -67,23 +79,43 @@ class TAGEConfig:
 
 
 class _TageComponent:
-    __slots__ = ("history_length", "index_bits", "tag_bits", "tags", "ctr", "useful")
+    __slots__ = (
+        "history_length",
+        "index_bits",
+        "index_mask",
+        "tag_bits",
+        "tag_mask",
+        "tags",
+        "ctr",
+        "useful",
+        "memo",
+    )
 
     def __init__(self, entries: int, tag_bits: int, history_length: int):
         self.history_length = history_length
         self.index_bits = entries.bit_length() - 1
+        self.index_mask = entries - 1
         self.tag_bits = tag_bits
+        self.tag_mask = (1 << tag_bits) - 1
         self.tags = [-1] * entries
         self.ctr = [0] * entries  # signed -4..3; >= 0 predicts taken
         self.useful = [0] * entries
+        # (pc << 26 | compressed) -> (index, tag): positions are a pure
+        # function of PC and compressed context, so loops that revisit the
+        # same branches under recurring histories skip the scramble.
+        self.memo: dict[int, tuple[int, int]] = {}
 
     def compress(self, ctx: PredictionContext) -> int:
+        """Reference compressed-context computation (the executable spec the
+        incremental registers in :mod:`repro.util.history` must match)."""
         hist = ctx.ghist & ((1 << self.history_length) - 1)
         path_bits = min(self.history_length, 16)
         path = ctx.path & ((1 << path_bits) - 1)
         return fold_value(hist, 16) ^ (path << 1) ^ (self.history_length << 17)
 
     def position(self, pc: int, ctx: PredictionContext) -> tuple[int, int]:
+        """Reference from-scratch position; the hot path in
+        :meth:`TAGEBranchPredictor.predict` inlines the same arithmetic."""
         compressed = self.compress(ctx)
         return (
             table_index(pc, self.index_bits, extra=compressed),
@@ -102,14 +134,30 @@ class TAGEBranchPredictor:
         self._lfsr = lfsr if lfsr is not None else GaloisLFSR(width=16, seed=0x1234)
         self._bimodal = [2] * cfg.bimodal_entries  # 2-bit, init weakly taken
         self._bimodal_bits = cfg.bimodal_entries.bit_length() - 1
+        self._bimodal_mask = cfg.bimodal_entries - 1
         self.components = [
             _TageComponent(cfg.tagged_entries, cfg.tag_bits, length)
             for length in cfg.history_lengths
         ]
+        self._lengths = tuple(cfg.history_lengths)
+        # Shift placing the PC above the compressed-context field in the
+        # per-component memo keys (collision-free for any history length).
+        self._mkey_shift = compressed_bits(max(self._lengths))
+        # Whole-vector position memo: every component position is a pure
+        # function of (pc, low-64 ghist, low-16 path) — see the fold
+        # horizon in util/history.py — so one dict hit replaces the whole
+        # per-component hashing loop for recurring (pc, history) pairs.
+        # Entries are mutable [positions, tags_generation, provider, alt]
+        # records: provider/alternate depend only on the positions and the
+        # component tag arrays, and tags mutate only on allocation, so the
+        # match scan is also skipped while `_tags_gen` is unchanged.
+        self._pos_memo: dict[tuple[int, int, int], list] = {}
+        self._tags_gen = 0
         self._ctr_max = (1 << (cfg.counter_bits - 1)) - 1
         self._ctr_min = -(1 << (cfg.counter_bits - 1))
         self._useful_max = (1 << cfg.useful_bits) - 1
         self._use_alt_on_na = 8  # 4-bit counter, mid value
+        self._u_reset_period = cfg.u_reset_period
         self._updates = 0
         # statistics
         self.lookups = 0
@@ -118,21 +166,89 @@ class TAGEBranchPredictor:
     # -- prediction --------------------------------------------------------
 
     def predict(self, pc: int, ctx: PredictionContext) -> tuple[bool, tuple]:
-        """Return (direction, payload-for-update)."""
+        """Return (direction, payload-for-update).
+
+        Hot path: the per-component compressed contexts come from the
+        context's incremental folded registers (updated O(components) per
+        *branch*, not recomputed O(history) per lookup), positions are
+        memoised per ``(pc, compressed)``, and misses inline the
+        ``table_index``/``tag_hash`` scramble with the pre-multiplied
+        context products — all bit-identical to the reference
+        :meth:`_TageComponent.position` chain.
+        """
         self.lookups += 1
-        bim_idx = table_index(pc, self._bimodal_bits)
+        # Inlined scrambled_key cache probe (in-place clears keep the
+        # module-level dict reference valid).
+        scrambled = _KEY_CACHE.get(pc)
+        if scrambled is None:
+            scrambled = scrambled_key(pc)
+        bim_idx = scrambled & self._bimodal_mask
         bim_pred = self._bimodal[bim_idx] >= 2
         provider = -1
         alt = -1
-        positions = []
-        for i, comp in enumerate(self.components):
-            idx, tag = comp.position(pc, ctx)
-            positions.append((idx, tag))
-            if comp.tags[idx] == tag:
-                alt = provider
-                provider = i
+        tags_gen = self._tags_gen
+        sig = (pc, ctx.ghist & MASK64, ctx.path & 0xFFFF)
+        pos_memo = self._pos_memo
+        record = pos_memo.get(sig)
+        if record is None:
+            folds = ctx.folds
+            if folds is None:
+                folds = ctx.fold_set()
+            triples = folds.pairs(self._lengths, ctx.ghist, ctx.path)
+            built = []
+            append = built.append
+            M = MASK64
+            kt = -1  # lazily computed tag-side key product
+            j = 0
+            mbase = pc << self._mkey_shift
+            for i, comp in enumerate(self.components):
+                memo = comp.memo
+                mkey = mbase | triples[j + 2]
+                pos = memo.get(mkey)
+                if pos is None:
+                    x = pc ^ triples[j]
+                    x ^= x >> 33
+                    x = (x * _MIX1) & M
+                    x ^= x >> 29
+                    x = (x * _MIX2) & M
+                    x ^= x >> 32
+                    if kt < 0:
+                        kt = (pc * TAG_KEY_MULT) & M
+                    y = kt ^ triples[j + 1]
+                    y ^= y >> 33
+                    y = (y * _MIX1) & M
+                    y ^= y >> 29
+                    y = (y * _MIX2) & M
+                    y ^= y >> 32
+                    pos = (x & comp.index_mask, (y >> 17) & comp.tag_mask)
+                    if len(memo) >= _MEMO_LIMIT:
+                        memo.clear()
+                    memo[mkey] = pos
+                j += 3
+                append(pos)
+                if comp.tags[pos[0]] == pos[1]:
+                    alt = provider
+                    provider = i
+            positions = tuple(built)
+            if len(pos_memo) >= _MEMO_LIMIT:
+                pos_memo.clear()
+            pos_memo[sig] = [positions, tags_gen, provider, alt]
+        elif record[1] == tags_gen:
+            positions, __, provider, alt = record
+        else:
+            positions = record[0]
+            i = 0
+            for comp in self.components:
+                pos = positions[i]
+                if comp.tags[pos[0]] == pos[1]:
+                    alt = provider
+                    provider = i
+                i += 1
+            record[1] = tags_gen
+            record[2] = provider
+            record[3] = alt
         if provider < 0:
-            return bim_pred, (bim_idx, provider, alt, tuple(positions), bim_pred, False)
+            return bim_pred, (bim_idx, provider, alt, positions, bim_pred, False)
         comp = self.components[provider]
         idx, _ = positions[provider]
         provider_pred = comp.ctr[idx] >= 0
@@ -146,7 +262,7 @@ class TAGEBranchPredictor:
         newly_allocated = comp.useful[idx] == 0 and comp.ctr[idx] in (-1, 0)
         use_alt = newly_allocated and self._use_alt_on_na >= 8
         direction = alt_pred if use_alt else provider_pred
-        payload = (bim_idx, provider, alt, tuple(positions), alt_pred, use_alt)
+        payload = (bim_idx, provider, alt, positions, alt_pred, use_alt)
         return direction, payload
 
     # -- update ------------------------------------------------------------
@@ -158,29 +274,38 @@ class TAGEBranchPredictor:
             self.mispredictions += 1
         if provider >= 0:
             comp = self.components[provider]
-            idx, _ = positions[provider]
-            provider_pred = comp.ctr[idx] >= 0
+            ctr = comp.ctr
+            useful = comp.useful
+            idx = positions[provider][0]
+            c = ctr[idx]
+            provider_pred = c >= 0
             # use_alt_on_na bookkeeping on newly-allocated entries.
-            if comp.useful[idx] == 0 and comp.ctr[idx] in (-1, 0):
+            if useful[idx] == 0 and (c == 0 or c == -1):
                 if provider_pred != alt_pred:
                     self._nudge_use_alt(alt_pred == taken)
             # usefulness: provider correct where the alternate was wrong.
             if provider_pred != alt_pred:
+                u = useful[idx]
                 if provider_pred == taken:
-                    if comp.useful[idx] < self._useful_max:
-                        comp.useful[idx] += 1
-                elif comp.useful[idx] > 0:
-                    comp.useful[idx] -= 1
-            comp.ctr[idx] = self._saturate(comp.ctr[idx] + (1 if taken else -1))
+                    if u < self._useful_max:
+                        useful[idx] = u + 1
+                elif u > 0:
+                    useful[idx] = u - 1
+            c = c + 1 if taken else c - 1
+            if c > self._ctr_max:
+                c = self._ctr_max
+            elif c < self._ctr_min:
+                c = self._ctr_min
+            ctr[idx] = c
             # Also train the alternate/bimodal for weak new entries.
-            if comp.useful[idx] == 0:
+            if useful[idx] == 0:
                 self._train_alt(bim_idx, alt, positions, taken)
         else:
             self._train_bimodal(bim_idx, taken)
         # Allocate on misprediction if a longer history component exists.
         if predicted != taken and provider < len(self.components) - 1:
             self._allocate(provider, positions, taken)
-        if self._updates % self.config.u_reset_period == 0:
+        if self._updates % self._u_reset_period == 0:
             self._age_useful()
 
     # -- internals -----------------------------------------------------------
@@ -227,6 +352,8 @@ class TAGEBranchPredictor:
         comp.tags[idx] = tag
         comp.ctr[idx] = 0 if taken else -1
         comp.useful[idx] = 0
+        # Tag arrays changed: memoised provider/alternate scans are stale.
+        self._tags_gen += 1
 
     def _age_useful(self) -> None:
         for comp in self.components:

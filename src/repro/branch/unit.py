@@ -41,6 +41,11 @@ class BranchResult:
         return self.direction_mispredict or self.target_mispredict
 
 
+#: Shared no-redirect outcome.  The overwhelmingly common case — treat
+#: returned :class:`BranchResult` instances as read-only.
+_WELL_PREDICTED = BranchResult()
+
+
 class BranchUnit:
     """Predict/train all control µops and maintain the shared history."""
 
@@ -54,35 +59,52 @@ class BranchUnit:
         self.target_mispredicts = 0
 
     def process(self, uop: MicroOp) -> BranchResult:
-        """Predict, train and record history for one control µop."""
-        result = BranchResult()
+        """Predict, train and record history for one control µop.
+
+        Returns a read-only :class:`BranchResult`; the common
+        well-predicted outcome is a shared instance.
+        """
         op = uop.op_class
         if op is OpClass.BRANCH:
             self.cond_branches += 1
-            predicted, payload = self.tage.predict(uop.pc, self.context)
-            if predicted != uop.taken:
-                result.direction_mispredict = True
+            tage = self.tage
+            pc = uop.pc
+            taken = uop.taken
+            predicted, payload = tage.predict(pc, self.context)
+            if predicted != taken:
+                result = BranchResult(direction_mispredict=True)
                 self.direction_mispredicts += 1
-            elif uop.taken:
-                result.target_mispredict = self._check_target(uop)
-            self.tage.update(uop.pc, uop.taken, predicted, payload)
+            elif taken and self._check_target(uop):
+                result = BranchResult(target_mispredict=True)
+                self.target_mispredicts += 1
+            else:
+                result = _WELL_PREDICTED
+            tage.update(pc, taken, predicted, payload)
             # Speculative history equals actual history on the correct path
             # (mispredicted branches repair it before younger correct-path
             # µops refetch), so pushing the actual outcome is faithful.
-            self.context.push_branch(uop.taken, uop.pc)
-        elif op is OpClass.JUMP:
-            result.target_mispredict = self._check_target(uop)
-        elif op is OpClass.CALL:
-            result.target_mispredict = self._check_target(uop)
+            self.context.push_branch(taken, pc)
+            return result
+        if op is OpClass.JUMP:
+            if self._check_target(uop):
+                self.target_mispredicts += 1
+                return BranchResult(target_mispredict=True)
+            return _WELL_PREDICTED
+        if op is OpClass.CALL:
+            missed = self._check_target(uop)
             self.ras.push(uop.pc + 4)
-        elif op is OpClass.RET:
+            if missed:
+                self.target_mispredicts += 1
+                return BranchResult(target_mispredict=True)
+            return _WELL_PREDICTED
+        if op is OpClass.RET:
             predicted_target = self.ras.pop()
             if predicted_target != uop.target:
-                result.direction_mispredict = True  # full penalty: resolved late
                 self.direction_mispredicts += 1
-        if result.target_mispredict:
-            self.target_mispredicts += 1
-        return result
+                # Full penalty: resolved late.
+                return BranchResult(direction_mispredict=True)
+            return _WELL_PREDICTED
+        return _WELL_PREDICTED
 
     def _check_target(self, uop: MicroOp) -> bool:
         """BTB check for a taken control µop; installs on miss."""

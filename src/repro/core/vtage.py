@@ -36,12 +36,24 @@ from __future__ import annotations
 
 from repro.core.confidence import ConfidencePolicy
 from repro.predictors.base import Prediction, PredictionContext, ValuePredictor
-from repro.util.bits import fold_value
-from repro.util.hashing import table_index, tag_hash
+from repro.util.bits import MASK64, fold_value
+from repro.util.hashing import (
+    _KEY_CACHE,
+    _MIX1,
+    _MIX2,
+    TAG_KEY_MULT,
+    scrambled_key,
+    table_index,
+    tag_hash,
+)
+from repro.util.history import compressed_bits
 from repro.util.lfsr import GaloisLFSR
 
 _VALUE_BITS = 64
 _USEFUL_BITS = 1
+
+#: Per-component position-memo bound; cleared wholesale when exceeded.
+_MEMO_LIMIT = 1 << 15
 
 #: Geometric history lengths of the paper's 6 tagged components (Table 1).
 PAPER_HISTORY_LENGTHS = (2, 4, 8, 16, 32, 64)
@@ -54,27 +66,35 @@ class _TaggedComponent:
         "rank",
         "entries",
         "index_bits",
+        "index_mask",
         "tag_bits",
+        "tag_mask",
         "history_length",
         "tags",
         "values",
         "conf",
         "useful",
+        "memo",
     )
 
     def __init__(self, rank: int, entries: int, tag_bits: int, history_length: int):
         self.rank = rank
         self.entries = entries
         self.index_bits = entries.bit_length() - 1
+        self.index_mask = entries - 1
         self.tag_bits = tag_bits
+        self.tag_mask = (1 << tag_bits) - 1
         self.history_length = history_length
         self.tags = [-1] * entries
         self.values = [0] * entries
         self.conf = [0] * entries
         self.useful = [0] * entries
+        # (key << 26 | compressed) -> (index, tag); see branch/tage.py.
+        self.memo: dict[int, tuple[int, int]] = {}
 
     def compress_context(self, ctx: PredictionContext) -> int:
-        """Mix the relevant slice of global/path history into one integer."""
+        """Reference compressed-context computation (executable spec for the
+        incremental registers in :mod:`repro.util.history`)."""
         hist = ctx.ghist & ((1 << self.history_length) - 1)
         # Use up to 16 bits of path history, as TAGE-family predictors do.
         path_bits = min(self.history_length, 16)
@@ -82,6 +102,8 @@ class _TaggedComponent:
         return fold_value(hist, 16) ^ (path << 1) ^ (self.history_length << 17)
 
     def index_and_tag(self, key: int, ctx: PredictionContext) -> tuple[int, int]:
+        """Reference from-scratch position; :meth:`VTAGEPredictor.lookup`
+        inlines the same arithmetic on the incremental fast path."""
         compressed = self.compress_context(ctx)
         idx = table_index(key, self.index_bits, extra=compressed)
         tag = tag_hash(key, self.tag_bits, extra=compressed)
@@ -115,10 +137,21 @@ class VTAGEPredictor(ValuePredictor):
         ) != len(history_lengths):
             raise ValueError("history lengths must be strictly increasing")
         self.confidence = confidence if confidence is not None else ConfidencePolicy()
+        self._is_confident = self.confidence.is_confident
+        # When the policy uses the stock saturation test, inline it as a
+        # threshold compare (FPC/Wide only change the *transition* rules).
+        self._conf_threshold = (
+            self.confidence.max_level
+            if type(self.confidence).is_confident is ConfidencePolicy.is_confident
+            else None
+        )
+        self._on_correct = self.confidence.on_correct
+        self._on_incorrect = self.confidence.on_incorrect
         self._lfsr = lfsr if lfsr is not None else GaloisLFSR(width=16, seed=0xBEEF)
         # Base component: a tagless LVP table (value + confidence only).
         self.base_entries = base_entries
         self._base_index_bits = base_entries.bit_length() - 1
+        self._base_index_mask = base_entries - 1
         self._base_values = [0] * base_entries
         self._base_conf = [0] * base_entries
         # Tagged components; rank 1 uses the shortest history (Table 1:
@@ -132,7 +165,20 @@ class VTAGEPredictor(ValuePredictor):
             )
             for rank, length in enumerate(history_lengths, start=1)
         ]
+        self._lengths = tuple(history_lengths)
         self.max_history = max(history_lengths)
+        # Shift placing the key above the compressed-context field in the
+        # per-component memo keys (collision-free for any history length).
+        self._mkey_shift = compressed_bits(self.max_history)
+        # Whole-vector position memo: every component position is a pure
+        # function of (key, low-64 ghist, low-16 path) — see the fold
+        # horizon in util/history.py — so one dict hit replaces the whole
+        # per-component hashing loop for recurring (key, history) pairs.
+        # Entries are mutable [positions, tags_generation, provider, alt]
+        # records: the provider scan is also skipped while the component
+        # tag arrays (mutated only on allocation) are unchanged.
+        self._pos_memo: dict[tuple[int, int, int], list] = {}
+        self._tags_gen = 0
 
     # -- ValuePredictor interface ----------------------------------------
 
@@ -146,16 +192,75 @@ class VTAGEPredictor(ValuePredictor):
         instructions shadow perfectly confident base entries and destroy
         coverage.
         """
-        base_idx = self._base_index(key)
+        # Inlined scrambled_key cache probe (in-place clears keep the
+        # module-level dict reference valid).
+        scrambled = _KEY_CACHE.get(key)
+        if scrambled is None:
+            scrambled = scrambled_key(key)
+        base_idx = scrambled & self._base_index_mask
         provider_rank = 0
         alt_rank = 0
-        positions = []
-        for comp in self.components:
-            idx, tag = comp.index_and_tag(key, ctx)
-            positions.append((idx, tag))
-            if comp.tags[idx] == tag:
-                alt_rank = provider_rank
-                provider_rank = comp.rank
+        tags_gen = self._tags_gen
+        sig = (key, ctx.ghist & MASK64, ctx.path & 0xFFFF)
+        pos_memo = self._pos_memo
+        record = pos_memo.get(sig)
+        if record is None:
+            folds = ctx.folds
+            if folds is None:
+                folds = ctx.fold_set()
+            triples = folds.pairs(self._lengths, ctx.ghist, ctx.path)
+            built = []
+            append = built.append
+            M = MASK64
+            kt = -1
+            j = 0
+            mbase = key << self._mkey_shift
+            for comp in self.components:
+                memo = comp.memo
+                mkey = mbase | triples[j + 2]
+                pos = memo.get(mkey)
+                if pos is None:
+                    x = key ^ triples[j]
+                    x ^= x >> 33
+                    x = (x * _MIX1) & M
+                    x ^= x >> 29
+                    x = (x * _MIX2) & M
+                    x ^= x >> 32
+                    if kt < 0:
+                        kt = (key * TAG_KEY_MULT) & M
+                    y = kt ^ triples[j + 1]
+                    y ^= y >> 33
+                    y = (y * _MIX1) & M
+                    y ^= y >> 29
+                    y = (y * _MIX2) & M
+                    y ^= y >> 32
+                    pos = (x & comp.index_mask, (y >> 17) & comp.tag_mask)
+                    if len(memo) >= _MEMO_LIMIT:
+                        memo.clear()
+                    memo[mkey] = pos
+                j += 3
+                append(pos)
+                if comp.tags[pos[0]] == pos[1]:
+                    alt_rank = provider_rank
+                    provider_rank = comp.rank
+            positions = tuple(built)
+            if len(pos_memo) >= _MEMO_LIMIT:
+                pos_memo.clear()
+            pos_memo[sig] = [positions, tags_gen, provider_rank, alt_rank]
+        elif record[1] == tags_gen:
+            positions, __, provider_rank, alt_rank = record
+        else:
+            positions = record[0]
+            rank = 0
+            for comp in self.components:
+                pos = positions[rank]
+                rank += 1
+                if comp.tags[pos[0]] == pos[1]:
+                    alt_rank = provider_rank
+                    provider_rank = rank
+            record[1] = tags_gen
+            record[2] = provider_rank
+            record[3] = alt_rank
         if provider_rank == 0:
             value = self._base_values[base_idx]
             conf = self._base_conf[base_idx]
@@ -176,11 +281,13 @@ class VTAGEPredictor(ValuePredictor):
                 eidx, _ = positions[effective_rank - 1]
                 value = ecomp.values[eidx]
                 conf = ecomp.conf[eidx]
+        threshold = self._conf_threshold
         return Prediction(
-            value=value,
-            confident=self.confidence.is_confident(conf),
-            payload=(provider_rank, effective_rank, base_idx, tuple(positions)),
-            source=self.name,
+            value,
+            (conf >= threshold) if threshold is not None
+            else self._is_confident(conf),
+            (provider_rank, effective_rank, base_idx, positions),
+            self.name,
         )
 
     def train(self, key: int, actual: int, prediction: Prediction | None) -> None:
@@ -193,7 +300,16 @@ class VTAGEPredictor(ValuePredictor):
         final_correct = prediction.value == actual
         # Update the provider entry against its own prediction.
         if provider_rank == 0:
-            self._train_base(base_idx, actual)
+            # Inlined _train_base (the hot path: base provides most
+            # predictions once the tagged components settle).
+            base_values = self._base_values
+            base_conf = self._base_conf
+            if base_values[base_idx] == actual:
+                base_conf[base_idx] = self._on_correct(base_conf[base_idx])
+            else:
+                if base_conf[base_idx] == 0:
+                    base_values[base_idx] = actual
+                base_conf[base_idx] = self._on_incorrect(base_conf[base_idx])
         else:
             comp = self.components[provider_rank - 1]
             idx, _ = positions[provider_rank - 1]
@@ -231,22 +347,22 @@ class VTAGEPredictor(ValuePredictor):
     def _train_base(self, idx: int, actual: int) -> None:
         """Base component update: tagless LVP semantics."""
         if self._base_values[idx] == actual:
-            self._base_conf[idx] = self.confidence.on_correct(self._base_conf[idx])
+            self._base_conf[idx] = self._on_correct(self._base_conf[idx])
         else:
             if self._base_conf[idx] == 0:
                 self._base_values[idx] = actual
-            self._base_conf[idx] = self.confidence.on_incorrect(self._base_conf[idx])
+            self._base_conf[idx] = self._on_incorrect(self._base_conf[idx])
 
     def _train_tagged(self, comp: _TaggedComponent, idx: int, actual: int) -> None:
         """Tagged entry update per Section 6: c++/u=1 on correct; on a
         misprediction, val replaced when c == 0, then c reset and u cleared."""
         if comp.values[idx] == actual:
-            comp.conf[idx] = self.confidence.on_correct(comp.conf[idx])
+            comp.conf[idx] = self._on_correct(comp.conf[idx])
             comp.useful[idx] = 1
         else:
             if comp.conf[idx] == 0:
                 comp.values[idx] = actual
-            comp.conf[idx] = self.confidence.on_incorrect(comp.conf[idx])
+            comp.conf[idx] = self._on_incorrect(comp.conf[idx])
             comp.useful[idx] = 0
 
     def _allocate(
@@ -282,6 +398,8 @@ class VTAGEPredictor(ValuePredictor):
         comp.values[idx] = actual
         comp.conf[idx] = 0
         comp.useful[idx] = 0
+        # Tag arrays changed: memoised provider scans are stale.
+        self._tags_gen += 1
 
     def describe(self) -> str:
         lengths = ",".join(str(c.history_length) for c in self.components)

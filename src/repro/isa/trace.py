@@ -12,6 +12,66 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.isa.uop import MicroOp, OpClass
+from repro.util.bits import MASK64
+
+_LINE_SHIFT = 6  # 64-byte I-cache lines (mirrors pipeline/core.py)
+
+_CTRL_CLASSES = frozenset(
+    {OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RET}
+)
+
+
+class TraceColumns:
+    """Flat parallel arrays of the per-µop fields the scheduler consumes.
+
+    The cycle model's inner loop used to re-derive these per µop — three
+    ``predictor_key()`` calls per eligible µop, a property call per flag, a
+    shift per I-cache line id.  Columns precompute them *once per cached
+    trace* so the hot loop is pure list indexing.  Ops are stored as plain
+    ``int``s (not :class:`OpClass` members) so dispatch tables can be flat
+    lists.
+    """
+
+    __slots__ = (
+        "n",
+        "seqs",
+        "pcs",
+        "pc_lines",
+        "ops",
+        "srcs",
+        "dsts",
+        "values",
+        "mem_addrs",
+        "mem_sizes",
+        "takens",
+        "dst_is_fp",
+        "is_branch",
+        "is_cond_branch",
+        "produces_value",
+        "pkeys",
+    )
+
+    def __init__(self, uops: list[MicroOp]):
+        branch = OpClass.BRANCH
+        ctrl = _CTRL_CLASSES
+        self.n = len(uops)
+        self.seqs = [u.seq for u in uops]
+        self.pcs = [u.pc for u in uops]
+        self.pc_lines = [u.pc >> _LINE_SHIFT for u in uops]
+        self.ops = [int(u.op_class) for u in uops]
+        self.srcs = [u.srcs for u in uops]
+        self.dsts = [u.dst for u in uops]
+        self.values = [u.value for u in uops]
+        self.mem_addrs = [u.mem_addr for u in uops]
+        self.mem_sizes = [u.mem_size for u in uops]
+        self.takens = [u.taken for u in uops]
+        self.dst_is_fp = [u.dst_is_fp for u in uops]
+        self.is_branch = [u.op_class in ctrl for u in uops]
+        self.is_cond_branch = [u.op_class is branch for u in uops]
+        self.produces_value = [
+            u.dst is not None and u.op_class not in ctrl for u in uops
+        ]
+        self.pkeys = [((u.pc << 2) ^ u.uop_index) & MASK64 for u in uops]
 
 
 @dataclass(slots=True)
@@ -42,12 +102,28 @@ class Trace:
     def __init__(self, uops: list[MicroOp] | None = None, name: str = "anonymous"):
         self.name = name
         self._uops: list[MicroOp] = uops if uops is not None else []
+        self._columns: TraceColumns | None = None
 
     def append(self, uop: MicroOp) -> None:
         self._uops.append(uop)
+        self._columns = None
 
     def extend(self, uops: list[MicroOp]) -> None:
         self._uops.extend(uops)
+        self._columns = None
+
+    def columns(self) -> TraceColumns:
+        """The columnar view of this trace, built once and cached.
+
+        Mutating the trace through :meth:`append`/:meth:`extend`
+        invalidates the cache; mutating µops in place does not (traces are
+        treated as immutable once simulated — the workload catalog caches
+        them on exactly that assumption).
+        """
+        cols = self._columns
+        if cols is None or cols.n != len(self._uops):
+            cols = self._columns = TraceColumns(self._uops)
+        return cols
 
     def __len__(self) -> int:
         return len(self._uops)

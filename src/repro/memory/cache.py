@@ -47,6 +47,7 @@ class Cache:
         self.config = config
         self._line_shift = config.line_bytes.bit_length() - 1
         self._set_mask = config.sets - 1
+        self._hit_latency = config.hit_latency
         # Per-set list of line addresses; front = MRU.
         self._sets: list[list[int]] = [[] for _ in range(config.sets)]
         # In-flight or recent fills: line -> ready cycle.
@@ -69,9 +70,8 @@ class Cache:
 
     def access(self, addr: int, cycle: int, miss_handler) -> int:
         """Access *addr* at *cycle*; returns the data-ready cycle."""
-        line = self.line_of(addr)
-        ways = self._set_for(line)
-        hit_latency = self.config.hit_latency
+        line = addr >> self._line_shift
+        ways = self._sets[line & self._set_mask]
         if line in ways:
             if ways[0] != line:
                 ways.remove(line)
@@ -82,10 +82,10 @@ class Cache:
                 # Line is present but still being filled (prefetch or an
                 # earlier miss): wait for the remainder of the fill.
                 return pending + 1
-            return cycle + hit_latency
+            return cycle + self._hit_latency
         self.misses += 1
         start = self._mshr_admit(cycle)
-        ready = miss_handler(line << self._line_shift, start + hit_latency)
+        ready = miss_handler(line << self._line_shift, start + self._hit_latency)
         self._install(line, ready)
         heapq.heappush(self._mshr_heap, ready)
         return ready

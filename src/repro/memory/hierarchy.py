@@ -56,36 +56,40 @@ class MemoryHierarchy:
             distance=self.config.prefetch_distance,
         )
         self._last_access: AccessResult | None = None
+        # The L1 miss handler needs the access PC (for prefetcher
+        # training); it is a persistent bound method reading `_fill_pc`
+        # rather than a closure allocated per access — miss handlers only
+        # run on the miss path, but the closure used to be built per hit.
+        self._fill_pc = 0
 
     # -- internal fill path ------------------------------------------------
 
     def _l2_fill(self, line_addr: int, cycle: int) -> int:
         return self.dram.read(line_addr, cycle)
 
-    def _l1_fill(self, pc: int):
-        """Build an L1-miss handler that goes to L2 and trains the prefetcher."""
-
-        def handler(line_addr: int, cycle: int) -> int:
-            before = (self.l2.hits, self.l2.misses)
-            ready = self.l2.access(line_addr, cycle, self._l2_fill)
-            self._l2_was_hit = self.l2.hits > before[0]
-            for pf_addr in self.prefetcher.observe(pc, line_addr):
-                # Prefetches fill the L2 with DRAM-like latency; they do not
-                # consume MSHRs in this model (documented simplification).
-                self.l2.install_prefetch(pf_addr, cycle + self.dram.base_latency)
-            return ready
-
-        return handler
+    def _l1_fill_handler(self, line_addr: int, cycle: int) -> int:
+        """L1-miss handler: go to L2 and train the prefetcher."""
+        l2 = self.l2
+        hits_before = l2.hits
+        ready = l2.access(line_addr, cycle, self._l2_fill)
+        self._l2_was_hit = l2.hits > hits_before
+        for pf_addr in self.prefetcher.observe(self._fill_pc, line_addr):
+            # Prefetches fill the L2 with DRAM-like latency; they do not
+            # consume MSHRs in this model (documented simplification).
+            l2.install_prefetch(pf_addr, cycle + self.dram.base_latency)
+        return ready
 
     # -- public API ----------------------------------------------------------
 
     def load(self, pc: int, addr: int, cycle: int) -> AccessResult:
         """Data load at *cycle*; returns data-ready timing."""
         self._l2_was_hit = True
-        before = (self.l1d.hits, self.l1d.misses)
-        ready = self.l1d.access(addr, cycle, self._l1_fill(pc))
-        l1_hit = self.l1d.hits > before[0]
-        result = AccessResult(ready_cycle=ready, l1_hit=l1_hit, l2_hit=self._l2_was_hit)
+        self._fill_pc = pc
+        l1d = self.l1d
+        hits_before = l1d.hits
+        ready = l1d.access(addr, cycle, self._l1_fill_handler)
+        result = AccessResult(ready_cycle=ready, l1_hit=l1d.hits > hits_before,
+                              l2_hit=self._l2_was_hit)
         self._last_access = result
         return result
 
@@ -97,4 +101,5 @@ class MemoryHierarchy:
     def fetch(self, pc: int, cycle: int) -> int:
         """Instruction fetch: returns the cycle the fetch group is available."""
         self._l2_was_hit = True
-        return self.l1i.access(pc, cycle, self._l1_fill(pc))
+        self._fill_pc = pc
+        return self.l1i.access(pc, cycle, self._l1_fill_handler)

@@ -32,11 +32,33 @@ Scheduling model notes (see DESIGN.md for the full discussion):
   and confidence counters, exactly like in-flight occurrences in hardware
   (this reproduces the tight-loop repeated-misprediction pathology of
   Section 7.2.1).
+
+Implementation notes (DESIGN.md, "Performance architecture"):
+
+* The scheduler iterates the trace's *columnar* arrays
+  (:meth:`~repro.isa.trace.Trace.columns`) — flat lists of predictor keys,
+  I-cache line ids, op-class ints and eligibility flags precomputed once
+  per cached trace — instead of touching µop attributes and properties per
+  iteration.
+* Every per-µop resource interaction (bandwidth limiters, in-order
+  windows, the issue-queue heap, functional-unit pools) is inlined over
+  locals-bound containers; the resource classes in
+  :mod:`repro.pipeline.resources` remain the single source of truth for
+  the semantics, and the loop mirrors them operation for operation.
+* The hot loop allocates nothing on the common path: no
+  :class:`~repro.predictors.base.Prediction` objects without a predictor,
+  no per-µop tuples except the training-queue entries that genuinely
+  outlive the iteration.
+* All of this is *observationally invisible*: results are bit-identical
+  to the straightforward seed model (pinned by the golden-equivalence
+  grid in ``tests/unit/test_golden.py``).
 """
 
 from __future__ import annotations
 
+import gc
 from collections import deque
+from heapq import heappop, heappush, heapreplace
 
 from repro.branch.unit import BranchUnit
 from repro.isa.trace import Trace
@@ -55,6 +77,15 @@ from repro.predictors.base import ValuePredictor
 from repro.predictors.oracle import OraclePredictor
 
 _LINE_SHIFT = 6  # 64-byte I-cache lines
+
+_N_OP_CLASSES = len(OpClass)
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+
+#: Watermark-advance period of the inlined scheduler loop (µops).  Between
+#: advances each bandwidth limiter accumulates at most a few thousand
+#: per-cycle entries; see BandwidthLimiter.advance_watermark.
+_PRUNE_PERIOD_MASK = 4095
 
 
 class CoreModel:
@@ -86,29 +117,69 @@ class CoreModel:
         issue, complete, commit)`` tuple per µop is appended to it — the
         hook the timing tests and debugging tools use.
         """
+        # The hot loop allocates short-lived tuples at a rate that makes
+        # generation-0 cycle collections a measurable tax; nothing in the
+        # loop creates reference cycles, so pause the collector for the
+        # duration (reference counting still reclaims everything).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(trace, warmup, workload, stage_trace)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(
+        self,
+        trace: Trace,
+        warmup: int,
+        workload: str | None,
+        stage_trace: list | None,
+    ) -> SimResult:
         cfg = self.config
         predictor = self.predictor
+        have_predictor = predictor is not None
         is_oracle = isinstance(predictor, OraclePredictor)
         reissue = cfg.recovery is RecoveryMode.SELECTIVE_REISSUE
 
         result = SimResult(
             workload=workload if workload is not None else trace.name,
-            predictor=predictor.name if predictor is not None else "none",
+            predictor=predictor.name if have_predictor else "none",
             recovery=cfg.recovery.value,
         )
 
-        # Bandwidth resources.
+        # Bandwidth resources.  The loop below inlines their grant fast
+        # path over direct references to the per-cycle count dicts; the
+        # limiter objects stay authoritative for pruning and stats.
         fetch_bw = BandwidthLimiter(cfg.fetch_width)
         taken_bw = BandwidthLimiter(cfg.max_taken_per_cycle)
-        dispatch_bw = BandwidthLimiter(cfg.fetch_width)
         issue_bw = BandwidthLimiter(cfg.issue_width)
-        commit_bw = BandwidthLimiter(cfg.commit_width)
         vp_write_bw = (
             BandwidthLimiter(cfg.vp_write_ports)
             if cfg.vp_write_ports is not None
             else None
         )
-        # Window resources.
+        fetch_counts = fetch_bw._counts
+        taken_counts = taken_bw._counts
+        issue_counts = issue_bw._counts
+        fetch_width = cfg.fetch_width
+        taken_width = cfg.max_taken_per_cycle
+        issue_width = cfg.issue_width
+        commit_width = cfg.commit_width
+        # Dispatch and commit requests are *monotone* (both are clamped to
+        # last_dispatch/last_commit before the grant), so their limiters
+        # reduce to a (current cycle, used slots) pair: cycles before the
+        # current one are provably full once the grant pointer passed them,
+        # and no future request can probe them.  Equivalent to
+        # BandwidthLimiter.grant under monotone requests, with zero
+        # retained state.
+        dbw_cycle = -1
+        dbw_used = 0
+        cbw_cycle = -1
+        cbw_used = 0
+
+        # Window resources (inlined below; objects kept for stats).
         fetch_queue = InOrderWindow(cfg.fetch_queue)
         rob = InOrderWindow(cfg.rob_entries)
         iq = OutOfOrderWindow(cfg.iq_entries)
@@ -116,7 +187,31 @@ class CoreModel:
         sq = InOrderWindow(cfg.sq_entries)
         int_prf = InOrderWindow(max(1, cfg.int_prf - cfg.arch_regs))
         fp_prf = InOrderWindow(max(1, cfg.fp_prf - cfg.arch_regs))
-        # Functional units.
+        fq_rel = fetch_queue._releases
+        fq_size = fetch_queue.size
+        rob_rel = rob._releases
+        rob_size = rob.size
+        iq_rel = iq._releases
+        iq_size = iq.size
+        lq_rel = lq._releases
+        lq_size = lq.size
+        sq_rel = sq._releases
+        sq_size = sq.size
+        int_prf_rel = int_prf._releases
+        int_prf_size = int_prf.size
+        fp_prf_rel = fp_prf._releases
+        fp_prf_size = fp_prf.size
+        rob_stalls = iq_stalls = 0
+        # Window occupancy mirrors: every container mutation below adjusts
+        # its counter, so the full-window checks are integer compares
+        # rather than len() calls.
+        fq_len = rob_len = iq_len = lq_len = sq_len = 0
+        int_prf_len = fp_prf_len = 0
+
+        # Functional units: per-op-class free-server heaps and timings,
+        # flattened to int-indexed lists.  Aliasing preserves the shared
+        # pools (dividers ride the multipliers, stores the load ports,
+        # control the INT ALUs).
         pools = {
             OpClass.INT_ALU: UnitPool(cfg.fu[OpClass.INT_ALU].units),
             OpClass.INT_MUL: UnitPool(cfg.fu[OpClass.INT_MUL].units),
@@ -129,7 +224,9 @@ class CoreModel:
         pools[OpClass.STORE] = pools[OpClass.LOAD]
         for cls in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RET, OpClass.NOP):
             pools[cls] = pools[OpClass.INT_ALU]
-        fu_timing = cfg.fu
+        pool_free = [pools[OpClass(c)]._free for c in range(_N_OP_CLASSES)]
+        lats = [cfg.fu[OpClass(c)].latency for c in range(_N_OP_CLASSES)]
+        occs = [cfg.fu[OpClass(c)].occupancy for c in range(_N_OP_CLASSES)]
 
         # Per-architectural-register operand state over the flat 64-entry
         # register space (0-31 integer, 32-63 floating point): the cycle the
@@ -147,16 +244,51 @@ class CoreModel:
         train_queue: deque = deque()
 
         branch_unit = self.branch_unit
+        process_branch = branch_unit.process
         store_sets = self.store_sets
+        predicted_store = store_sets.predicted_store
+        store_fetched = store_sets.store_fetched
         memory = self.memory
+        memory_fetch = memory.fetch
+        memory_store = memory.store
         ctx = branch_unit.context
+        if have_predictor:
+            predictor_lookup = predictor.lookup
+            predictor_train = predictor.train
+            # speculate() is a no-op unless the predictor overrides it
+            # (VTAGE holds no speculative per-instruction state); skip the
+            # call entirely in that case.
+            predictor_speculate = (
+                predictor.speculate
+                if type(predictor).speculate is not ValuePredictor.speculate
+                else None
+            )
         uops = trace.uops
-        n_uops = len(uops)
+        cols = trace.columns()
+        n_uops = cols.n
+        col_seq = cols.seqs
+        col_pc = cols.pcs
+        col_line = cols.pc_lines
+        col_op = cols.ops
+        col_srcs = cols.srcs
+        col_dst = cols.dsts
+        col_value = cols.values
+        col_addr = cols.mem_addrs
+        col_size = cols.mem_sizes
+        col_taken = cols.takens
+        col_fp = cols.dst_is_fp
+        col_is_branch = cols.is_branch
+        col_is_cond = cols.is_cond_branch
+        col_produces = cols.produces_value
+        col_pkey = cols.pkeys
+
         frontend = cfg.frontend_depth
         backend = cfg.backend_depth
         redirect_extra = cfg.redirect_extra
-        fetch_width = cfg.fetch_width
+        decode_redirect_depth = cfg.decode_redirect_depth
         lookahead_cap = cfg.squash_lookahead
+        load_timing = self._load_timing
+        consumer_before = self._consumer_before
 
         fetch_resume = 0
         line_ready = 0
@@ -167,68 +299,110 @@ class CoreModel:
         measure_start_commit = None
         vp_all_scope = cfg.vp_scope == "all"
 
-        for i, uop in enumerate(uops):
+        # Measurement tallies kept in locals; folded into `result` once
+        # after the loop (attribute stores are not free at this call rate).
+        n_uops_meas = 0
+        cond_branches = 0
+        branch_mispredicts = 0
+        btb_redirects = 0
+        vp_eligible_n = vp_predicted_n = vp_used_n = 0
+        vp_correct_used = vp_wrong_used = 0
+        vp_squashes = vp_harmless_wrong = vp_reissues = 0
+
+        # Earliest queued training commit cycle (sentinel when empty): one
+        # int compare per µop instead of a deque peek.
+        _NEVER = 1 << 62
+        next_train = _NEVER
+
+        # One fused iterator over the always-consumed columns: a single
+        # tuple unpack per µop instead of a subscript per field.  Rarely
+        # consumed columns (memory operands, values, predictor keys,
+        # sequence numbers) stay indexed on demand.
+        rows = zip(
+            col_op, col_pc, col_line, col_srcs, col_dst,
+            col_fp, col_is_branch, col_is_cond, col_produces,
+        )
+        for i, (op, pc, pc_line, srcs, dst,
+                dst_fp, is_branch, is_cond, produces) in enumerate(rows):
             measured = i >= warmup
-            op = uop.op_class
+            is_load = op == _LOAD
+            is_store = op == _STORE
 
             # ---- Fetch ------------------------------------------------
-            pc_line = uop.pc >> _LINE_SHIFT
             if pc_line != current_line:
                 current_line = pc_line
-                line_ready = memory.fetch(uop.pc, max(fetch_resume, last_fetch))
-                if line_ready <= max(fetch_resume, last_fetch) + 1:
+                floor = fetch_resume if fetch_resume > last_fetch else last_fetch
+                line_ready = memory_fetch(pc, floor)
+                if line_ready <= floor + 1:
                     line_ready = 0  # L1I hit: no extra constraint
             # The fetch queue provides front-end backpressure: fetch stalls
             # once `fetch_queue` µops are in flight between fetch and
             # dispatch, instead of racing arbitrarily far ahead.
-            fetch = fetch_queue.acquire(max(fetch_resume, line_ready))
-            fetch = fetch_bw.grant(fetch)
-            if uop.is_branch and uop.taken:
-                fetch = taken_bw.grant(fetch)
+            fetch = fetch_resume if fetch_resume > line_ready else line_ready
+            if fq_len >= fq_size:
+                oldest = fq_rel.popleft()
+                fq_len -= 1
+                if oldest > fetch:
+                    fetch_queue.stalls += 1
+                    fetch = oldest
+            used = fetch_counts.get(fetch, 0)
+            while used >= fetch_width:
+                fetch += 1
+                used = fetch_counts.get(fetch, 0)
+            fetch_counts[fetch] = used + 1
+            if is_branch and col_taken[i]:
+                used = taken_counts.get(fetch, 0)
+                while used >= taken_width:
+                    fetch += 1
+                    used = taken_counts.get(fetch, 0)
+                taken_counts[fetch] = used + 1
             last_fetch = fetch
 
             # ---- Apply predictor trainings that have committed by now --
-            while train_queue and train_queue[0][0] <= fetch:
+            while next_train <= fetch:
                 __, key, actual, pred_rec = train_queue.popleft()
-                predictor.train(key, actual, pred_rec)
+                predictor_train(key, actual, pred_rec)
+                next_train = train_queue[0][0] if train_queue else _NEVER
 
             # ---- Branch prediction (and shared history maintenance) ----
-            branch_redirect = None
-            if uop.is_branch:
-                bres = branch_unit.process(uop)
+            branch_redirect = 0
+            if is_branch:
+                bres = process_branch(uops[i])
                 if bres.direction_mispredict:
-                    branch_redirect = "execute"
+                    branch_redirect = 1  # resolved at execute
                 elif bres.target_mispredict:
-                    branch_redirect = "decode"
+                    branch_redirect = 2  # resolved at decode
 
             # ---- Value prediction at fetch ------------------------------
             prediction = None
             vp_used = False
             vp_wrong = False
             eligible = (
-                predictor is not None
-                and uop.produces_value
-                and (vp_all_scope or op is OpClass.LOAD)
+                have_predictor
+                and produces
+                and (vp_all_scope or is_load)
             )
             if eligible:
+                pkey = col_pkey[i]
                 if is_oracle:
-                    predictor.set_actual(uop.value)
-                prediction = predictor.lookup(uop.predictor_key(), ctx)
+                    predictor.set_actual(col_value[i])
+                prediction = predictor_lookup(pkey, ctx)
                 if prediction is not None:
-                    predictor.speculate(uop.predictor_key(), prediction)
+                    if predictor_speculate is not None:
+                        predictor_speculate(pkey, prediction)
                     if prediction.confident:
                         vp_used = True
-                        vp_wrong = prediction.value != uop.value
+                        vp_wrong = prediction.value != col_value[i]
                 if measured:
-                    result.vp_eligible += 1
+                    vp_eligible_n += 1
                     if prediction is not None:
-                        result.vp_predicted += 1
+                        vp_predicted_n += 1
                     if vp_used:
-                        result.vp_used += 1
+                        vp_used_n += 1
                         if vp_wrong:
-                            result.vp_wrong_used += 1
+                            vp_wrong_used += 1
                         else:
-                            result.vp_correct_used += 1
+                            vp_correct_used += 1
 
             # ---- Dispatch (rename + window allocation) ------------------
             dispatch = fetch + frontend
@@ -243,36 +417,86 @@ class CoreModel:
                     dispatch = write_cycle + 1
             # Dispatch is in order: a window-stalled µop stalls everything
             # behind it.
-            dispatch = max(dispatch, last_dispatch)
-            dispatch = rob.acquire(dispatch)
-            dispatch = iq.acquire(dispatch)
-            if op is OpClass.LOAD:
-                dispatch = lq.acquire(dispatch)
-            elif op is OpClass.STORE:
-                dispatch = sq.acquire(dispatch)
-            if uop.dst is not None:
-                prf = fp_prf if uop.dst_is_fp else int_prf
-                dispatch = prf.acquire(dispatch)
-            dispatch = dispatch_bw.grant(dispatch)
+            if last_dispatch > dispatch:
+                dispatch = last_dispatch
+            if rob_len >= rob_size:
+                oldest = rob_rel.popleft()
+                rob_len -= 1
+                if oldest > dispatch:
+                    rob_stalls += 1
+                    dispatch = oldest
+            if iq_len >= iq_size:
+                soonest = heappop(iq_rel)
+                iq_len -= 1
+                if soonest > dispatch:
+                    iq_stalls += 1
+                    dispatch = soonest
+            if is_load:
+                if lq_len >= lq_size:
+                    oldest = lq_rel.popleft()
+                    lq_len -= 1
+                    if oldest > dispatch:
+                        lq.stalls += 1
+                        dispatch = oldest
+            elif is_store:
+                if sq_len >= sq_size:
+                    oldest = sq_rel.popleft()
+                    sq_len -= 1
+                    if oldest > dispatch:
+                        sq.stalls += 1
+                        dispatch = oldest
+            if dst is not None:
+                if dst_fp:
+                    if fp_prf_len >= fp_prf_size:
+                        oldest = fp_prf_rel.popleft()
+                        fp_prf_len -= 1
+                        if oldest > dispatch:
+                            fp_prf.stalls += 1
+                            dispatch = oldest
+                elif int_prf_len >= int_prf_size:
+                    oldest = int_prf_rel.popleft()
+                    int_prf_len -= 1
+                    if oldest > dispatch:
+                        int_prf.stalls += 1
+                        dispatch = oldest
+            if dispatch > dbw_cycle:
+                dbw_cycle = dispatch
+                dbw_used = 1
+            elif dbw_used < fetch_width:
+                dispatch = dbw_cycle
+                dbw_used += 1
+            else:
+                dbw_cycle += 1
+                dispatch = dbw_cycle
+                dbw_used = 1
             last_dispatch = dispatch
-            fetch_queue.push_release(dispatch)
+            fq_rel.append(dispatch)
+            fq_len += 1
 
             # ---- Operand readiness --------------------------------------
             ready = dispatch + 1
             spec_until = 0
-            for src in uop.srcs:
-                src_ready = reg_ready[src]
-                if src_ready > ready:
-                    ready = src_ready
-                sc = reg_spec_commit[src]
-                if sc > spec_until:
-                    spec_until = sc
+            if reissue:
+                for src in srcs:
+                    src_ready = reg_ready[src]
+                    if src_ready > ready:
+                        ready = src_ready
+                    sc = reg_spec_commit[src]
+                    if sc > spec_until:
+                        spec_until = sc
+            else:
+                # Squash-at-commit mode never marks speculative producers
+                # (reg_spec_commit stays all-zero), so skip those reads.
+                for src in srcs:
+                    src_ready = reg_ready[src]
+                    if src_ready > ready:
+                        ready = src_ready
 
             # Store-set-predicted memory dependence: the load waits for the
             # predicted store's data.
             wait_store_seq = -1
-            if op is OpClass.LOAD:
-                predicted = store_sets.predicted_store(uop.pc)
+            if is_load:
+                predicted = predicted_store(pc)
                 if predicted is not None:
                     for entry in reversed(store_buffer):
                         if entry[0] == predicted:
@@ -282,109 +506,176 @@ class CoreModel:
                             break
 
             # ---- Issue + execute ----------------------------------------
-            timing = fu_timing[op]
-            start = pools[op].grant(ready, timing.occupancy)
-            issue = issue_bw.grant(start)
-            complete = issue + timing.latency
-
-            if op is OpClass.LOAD:
-                complete = self._load_timing(
-                    uop, issue, store_buffer, wait_store_seq, result, measured
+            free = pool_free[op]
+            start = free[0]
+            if ready > start:
+                start = ready
+            heapreplace(free, start + occs[op])
+            issue = start
+            used = issue_counts.get(issue, 0)
+            while used >= issue_width:
+                issue += 1
+                used = issue_counts.get(issue, 0)
+            issue_counts[issue] = used + 1
+            if is_load:
+                complete = load_timing(
+                    pc, col_addr[i], col_size[i], issue,
+                    store_buffer, wait_store_seq, result, measured,
                 )
                 if complete < 0:  # memory-order violation: squash younger
                     complete = -complete
-                    fetch_resume = max(fetch_resume, complete + redirect_extra)
-            elif op is OpClass.STORE:
+                    resume = complete + redirect_extra
+                    if resume > fetch_resume:
+                        fetch_resume = resume
+            elif is_store:
                 complete = issue + 1
+            else:
+                complete = issue + lats[op]
 
             # ---- Commit ---------------------------------------------------
-            commit = commit_bw.grant(max(complete + backend, last_commit))
+            commit = complete + backend
+            if last_commit > commit:
+                commit = last_commit
+            if commit > cbw_cycle:
+                cbw_cycle = commit
+                cbw_used = 1
+            elif cbw_used < commit_width:
+                commit = cbw_cycle
+                cbw_used += 1
+            else:
+                cbw_cycle += 1
+                commit = cbw_cycle
+                cbw_used = 1
             last_commit = commit
 
             # ---- Branch redirect -----------------------------------------
-            if branch_redirect == "execute":
-                fetch_resume = max(fetch_resume, complete + redirect_extra)
-                if measured:
-                    result.branch_mispredicts += 1
-            elif branch_redirect == "decode":
-                fetch_resume = max(fetch_resume, fetch + cfg.decode_redirect_depth)
-                if measured:
-                    result.btb_redirects += 1
-            if measured and uop.is_cond_branch:
-                result.cond_branches += 1
+            if branch_redirect:
+                if branch_redirect == 1:  # execute-resolved mispredict
+                    resume = complete + redirect_extra
+                    if measured:
+                        branch_mispredicts += 1
+                else:  # decode-resolved BTB redirect
+                    resume = fetch + decode_redirect_depth
+                    if measured:
+                        btb_redirects += 1
+                if resume > fetch_resume:
+                    fetch_resume = resume
+            if measured and is_cond:
+                cond_branches += 1
 
             # ---- Value prediction outcome --------------------------------
             consumer_ready = complete
             producer_spec_commit = 0
-            if eligible and prediction is not None:
-                if vp_used and not vp_wrong:
-                    # Correct used prediction: consumers got the value from
-                    # the PRF at their own dispatch; no operand constraint.
-                    # Under selective reissue, value-speculative consumers
-                    # hold their IQ entry until the producer executes and
-                    # validates (Section 7.2.1's IQ pressure).
-                    consumer_ready = 0
-                    producer_spec_commit = complete if reissue else 0
-                elif vp_used and vp_wrong:
-                    if reissue:
-                        # Idealistic selective reissue: dependents replay
-                        # and see the correct value at execution time.
-                        consumer_ready = complete
-                        producer_spec_commit = complete
-                        if measured:
-                            result.vp_reissues += 1
-                    else:
-                        consumed_early = self._consumer_before(
-                            uops, i, fetch, complete, frontend, fetch_width, lookahead_cap
-                        )
-                        if consumed_early:
-                            # Squash at commit: flush everything younger.
-                            fetch_resume = max(fetch_resume, commit + redirect_extra)
-                            predictor.on_squash()
-                            store_sets.flush_inflight()
-                            store_buffer.clear()
+            if eligible:
+                if prediction is not None:
+                    if vp_used and not vp_wrong:
+                        # Correct used prediction: consumers got the value
+                        # from the PRF at their own dispatch; no operand
+                        # constraint.  Under selective reissue, value-
+                        # speculative consumers hold their IQ entry until
+                        # the producer executes and validates (Section
+                        # 7.2.1's IQ pressure).
+                        consumer_ready = 0
+                        producer_spec_commit = complete if reissue else 0
+                    elif vp_used:
+                        if reissue:
+                            # Idealistic selective reissue: dependents
+                            # replay and see the correct value at
+                            # execution time.
+                            consumer_ready = complete
+                            producer_spec_commit = complete
                             if measured:
-                                result.vp_squashes += 1
+                                vp_reissues += 1
                         else:
-                            # Prediction replaced at execute before any
-                            # consumer issued: no recovery needed.
-                            if measured:
-                                result.vp_harmless_wrong += 1
-                train_queue.append((commit, uop.predictor_key(), uop.value, prediction))
-            elif eligible:
-                # Lookup missed: still train (allocation path).
-                train_queue.append((commit, uop.predictor_key(), uop.value, None))
+                            consumed_early = consumer_before(
+                                col_srcs, col_dst, i, fetch, complete,
+                                frontend, fetch_width, lookahead_cap,
+                            )
+                            if consumed_early:
+                                # Squash at commit: flush everything younger.
+                                resume = commit + redirect_extra
+                                if resume > fetch_resume:
+                                    fetch_resume = resume
+                                predictor.on_squash()
+                                store_sets.flush_inflight()
+                                store_buffer.clear()
+                                if measured:
+                                    vp_squashes += 1
+                            else:
+                                # Prediction replaced at execute before any
+                                # consumer issued: no recovery needed.
+                                if measured:
+                                    vp_harmless_wrong += 1
+                    if next_train == _NEVER:
+                        next_train = commit
+                    train_queue.append((commit, pkey, col_value[i], prediction))
+                else:
+                    # Lookup missed: still train (allocation path).
+                    if next_train == _NEVER:
+                        next_train = commit
+                    train_queue.append((commit, pkey, col_value[i], None))
 
             # ---- Register state update ------------------------------------
-            if uop.dst is not None:
-                reg_ready[uop.dst] = consumer_ready
-                reg_spec_commit[uop.dst] = producer_spec_commit
+            if dst is not None:
+                reg_ready[dst] = consumer_ready
+                if reissue:
+                    reg_spec_commit[dst] = producer_spec_commit
 
             # ---- Window releases ------------------------------------------
-            rob.push_release(commit)
-            iq.push_release(max(issue, spec_until) if reissue else issue)
-            if op is OpClass.LOAD:
-                lq.push_release(commit)
-            elif op is OpClass.STORE:
-                sq.push_release(commit)
+            rob_rel.append(commit)
+            rob_len += 1
+            heappush(iq_rel, max(issue, spec_until) if reissue else issue)
+            iq_len += 1
+            if is_load:
+                lq_rel.append(commit)
+                lq_len += 1
+            elif is_store:
+                sq_rel.append(commit)
+                sq_len += 1
+                addr = col_addr[i]
                 store_buffer.append(
-                    (uop.seq, uop.mem_addr, uop.mem_addr + uop.mem_size, complete, commit, uop.pc)
+                    (col_seq[i], addr, addr + col_size[i], complete, commit, pc)
                 )
-                store_sets.store_fetched(uop.pc, uop.seq)
-                memory.store(uop.pc, uop.mem_addr, commit)
-            if uop.dst is not None:
-                (fp_prf if uop.dst_is_fp else int_prf).push_release(commit)
+                store_fetched(pc, col_seq[i])
+                memory_store(pc, addr, commit)
+            if dst is not None:
+                if dst_fp:
+                    fp_prf_rel.append(commit)
+                    fp_prf_len += 1
+                else:
+                    int_prf_rel.append(commit)
+                    int_prf_len += 1
 
             # ---- Measurement bookkeeping ----------------------------------
             if stage_trace is not None:
-                stage_trace.append((uop.seq, fetch, dispatch, ready, issue, complete, commit))
+                stage_trace.append((col_seq[i], fetch, dispatch, ready, issue, complete, commit))
             if measured:
                 if measure_start_commit is None:
                     # Cycles are counted commit-to-commit over the
                     # measurement region, immune to transient front-end
                     # backlog at the region boundary.
                     measure_start_commit = commit
-                result.n_uops += 1
+                n_uops_meas += 1
+
+            # ---- Retire per-cycle bandwidth bookkeeping -------------------
+            if not (i & _PRUNE_PERIOD_MASK):
+                # Cheap watermarks: issue requests are monotone in
+                # last_dispatch.  (Dispatch/commit bandwidth is tracked by
+                # the dict-free monotone pairs above.)  Fetch-side probes
+                # are bounded below by fetch_resume and — once the fetch
+                # queue has filled, which is permanent since it pops only
+                # when full and pushes every µop — by the queue's oldest
+                # pending release (a dispatch cycle fq_size µops back,
+                # monotone), so pruning advances even on redirect-free
+                # stretches where fetch_resume never moves.
+                issue_bw.advance_watermark(last_dispatch)
+                fetch_floor = fetch_resume
+                if fq_len >= fq_size and fq_rel[0] > fetch_floor:
+                    fetch_floor = fq_rel[0]
+                fetch_bw.advance_watermark(fetch_floor)
+                taken_bw.advance_watermark(fetch_floor)
+                if vp_write_bw is not None:
+                    vp_write_bw.advance_watermark(fetch_floor)
 
         # Flush remaining trainings (end of trace).
         while train_queue:
@@ -393,9 +684,23 @@ class CoreModel:
 
         if measure_start_commit is None:
             measure_start_commit = 0
+        rob.stalls = rob_stalls
+        iq.stalls = iq_stalls
+        result.n_uops = n_uops_meas
+        result.cond_branches = cond_branches
+        result.branch_mispredicts = branch_mispredicts
+        result.btb_redirects = btb_redirects
+        result.vp_eligible = vp_eligible_n
+        result.vp_predicted = vp_predicted_n
+        result.vp_used = vp_used_n
+        result.vp_correct_used = vp_correct_used
+        result.vp_wrong_used = vp_wrong_used
+        result.vp_squashes = vp_squashes
+        result.vp_harmless_wrong = vp_harmless_wrong
+        result.vp_reissues = vp_reissues
         result.cycles = max(1, last_commit - measure_start_commit)
-        result.rob_stalls = rob.stalls
-        result.iq_stalls = iq.stalls
+        result.rob_stalls = rob_stalls
+        result.iq_stalls = iq_stalls
         result.l1d_misses = memory.l1d.misses
         result.l1d_accesses = memory.l1d.hits + memory.l1d.misses
         result.l2_misses = memory.l2.misses
@@ -406,7 +711,9 @@ class CoreModel:
 
     def _load_timing(
         self,
-        uop,
+        pc: int,
+        addr: int,
+        size: int,
         issue: int,
         store_buffer: deque,
         waited_seq: int,
@@ -414,30 +721,33 @@ class CoreModel:
         measured: bool,
     ) -> int:
         """Completion cycle of a load; negative => violation squash at |value|."""
-        addr = uop.mem_addr
-        end = addr + uop.mem_size
+        end = addr + size
         agu_done = issue + 1
-        # Youngest older in-flight store overlapping this access.
+        # Youngest older in-flight store overlapping this access.  Commit
+        # cycles are non-decreasing in append order, so the first retired
+        # entry seen scanning youngest-first means every older entry is
+        # retired too — stop there instead of walking the whole buffer.
         for entry in reversed(store_buffer):
             seq, s_start, s_end, data_ready, s_commit, s_pc = entry
             if s_commit <= agu_done:
-                continue  # already retired when the load executes
+                break  # this store and everything older has retired
             if s_start < end and addr < s_end:
                 if data_ready <= agu_done or seq == waited_seq:
                     # Store-to-load forwarding from the store queue.
                     return max(agu_done, data_ready) + 1
                 # The load executed before an older conflicting store it was
                 # not predicted to depend on: memory-order violation.
-                self.store_sets.train_violation(uop.pc, s_pc)
+                self.store_sets.train_violation(pc, s_pc)
                 if measured:
                     result.mem_violations += 1
                 return -(data_ready + 2)
-        access = self.memory.load(uop.pc, addr, agu_done)
+        access = self.memory.load(pc, addr, agu_done)
         return access.ready_cycle
 
     @staticmethod
     def _consumer_before(
-        uops,
+        col_srcs,
+        col_dst,
         i: int,
         fetch: int,
         complete: int,
@@ -445,25 +755,24 @@ class CoreModel:
         fetch_width: int,
         cap: int,
     ) -> bool:
-        """Would any consumer of uops[i].dst have issued before *complete*?
+        """Would any consumer of µop *i*'s destination have issued before
+        *complete*?
 
         Estimates the earliest possible issue cycle (its dispatch) of the
         first in-window reader of the destination register, stopping at the
         first redefinition.  See module docstring for the approximation
         direction.
         """
-        uop = uops[i]
-        dst = uop.dst
-        n = len(uops)
+        dst = col_dst[i]
+        n = len(col_dst)
         limit = min(n, i + 1 + cap)
         for j in range(i + 1, limit):
             est_dispatch = fetch + (j - i + fetch_width - 1) // fetch_width + frontend
             if est_dispatch >= complete:
                 return False  # every later consumer dispatches after execute
-            other = uops[j]
-            if dst in other.srcs:
+            if dst in col_srcs[j]:
                 return True
-            if other.dst == dst:
+            if col_dst[j] == dst:
                 return False  # redefined before any read
         return False
 

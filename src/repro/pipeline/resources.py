@@ -20,13 +20,28 @@ from collections import deque
 
 
 class BandwidthLimiter:
-    """At most *width* grants per cycle; requests may arrive out of order."""
+    """At most *width* grants per cycle; requests may arrive out of order.
+
+    The per-cycle grant counts live in a dict keyed by cycle.  Left alone
+    it would retain one entry per simulated cycle for the whole run (the
+    seed model leaked exactly that, one dict per limiter); callers instead
+    publish a *watermark* — a cycle below which no future request can land
+    — via :meth:`advance_watermark`, and the limiter prunes retired
+    entries in place.  Pruning is observationally invisible: an entry is
+    dropped only once no ``grant`` can ever probe it again.
+    """
+
+    __slots__ = ("width", "_counts", "_floor")
+
+    #: Entry count above which an advancing watermark triggers a prune.
+    PRUNE_THRESHOLD = 256
 
     def __init__(self, width: int):
         if width <= 0:
             raise ValueError("width must be positive")
         self.width = width
         self._counts: dict[int, int] = {}
+        self._floor = 0
 
     def grant(self, earliest: int) -> int:
         """Return the first cycle >= *earliest* with a free slot, claiming it."""
@@ -37,12 +52,33 @@ class BandwidthLimiter:
         counts[cycle] = counts.get(cycle, 0) + 1
         return cycle
 
+    def advance_watermark(self, cycle: int) -> None:
+        """Declare that every future ``grant(earliest)`` has ``earliest >=
+        cycle``; prunes entries of retired cycles once enough accumulate.
+
+        The dict is pruned *in place* so hot loops holding a direct
+        reference to ``_counts`` stay valid.
+        """
+        if cycle > self._floor:
+            self._floor = cycle
+            counts = self._counts
+            if len(counts) > self.PRUNE_THRESHOLD:
+                for stale in [c for c in counts if c < cycle]:
+                    del counts[stale]
+
+    @property
+    def tracked_cycles(self) -> int:
+        """Number of live per-cycle entries (regression-tested bound)."""
+        return len(self._counts)
+
     def used_at(self, cycle: int) -> int:
         return self._counts.get(cycle, 0)
 
 
 class UnitPool:
     """*units* servers; each grant occupies a server for *occupancy* cycles."""
+
+    __slots__ = ("_free",)
 
     def __init__(self, units: int):
         if units <= 0:
@@ -65,6 +101,8 @@ class InOrderWindow:
     (its commit time).  Release times must be non-decreasing, which holds
     for commit times by construction.
     """
+
+    __slots__ = ("size", "_releases", "stalls")
 
     def __init__(self, size: int):
         if size <= 0:
@@ -96,6 +134,8 @@ class OutOfOrderWindow:
     When full, the next allocation waits for the *earliest-releasing*
     occupant, which a min-heap yields directly.
     """
+
+    __slots__ = ("size", "_releases", "stalls")
 
     def __init__(self, size: int):
         if size <= 0:

@@ -17,9 +17,13 @@ front-end, training/validation in the in-order back-end):
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.util.history import FoldedHistorySet
 
 KILOBYTE = 1000  # Table 1 reports sizes with 1 KB = 1000 bytes.
+
+_GHIST_MASK = (1 << 256) - 1  # default global-history window
 
 #: Full tag width used by the paper's untagged-component predictors
 #: (Table 1 lists "Full (51)").
@@ -35,18 +39,41 @@ class PredictionContext:
             recent outcome.
         path: Hashed path history (low-order PC bits of recent branches).
         ghist_length: Number of valid bits currently in ``ghist``.
+        folds: Lazily-attached :class:`~repro.util.history.FoldedHistorySet`
+            of incrementally-maintained folded history registers, shared by
+            every TAGE-family predictor indexing off this context.  Kept
+            out of equality/repr: it is a cache of ``(ghist, path)``, not
+            state of its own.
     """
 
     ghist: int = 0
     path: int = 0
     ghist_length: int = 0
+    folds: FoldedHistorySet | None = field(default=None, compare=False,
+                                           repr=False)
 
     def push_branch(self, taken: bool, pc: int, max_bits: int = 256) -> None:
         """Record one conditional-branch outcome and its path contribution."""
-        self.ghist = ((self.ghist << 1) | (1 if taken else 0)) & ((1 << max_bits) - 1)
-        self.path = ((self.path << 3) ^ (pc & 0xFFFF)) & ((1 << 32) - 1)
+        bit = 1 if taken else 0
+        old_ghist = self.ghist
+        ghist = ((old_ghist << 1) | bit) & (
+            _GHIST_MASK if max_bits == 256 else (1 << max_bits) - 1
+        )
+        self.ghist = ghist
+        path = ((self.path << 3) ^ (pc & 0xFFFF)) & 0xFFFFFFFF
+        self.path = path
         if self.ghist_length < max_bits:
             self.ghist_length += 1
+        folds = self.folds
+        if folds is not None:
+            folds.push(bit, old_ghist, ghist, path, max_bits)
+
+    def fold_set(self) -> FoldedHistorySet:
+        """The attached folded-register set, created on first use."""
+        folds = self.folds
+        if folds is None:
+            folds = self.folds = FoldedHistorySet(self.ghist, self.path)
+        return folds
 
     def snapshot(self) -> "PredictionContext":
         return PredictionContext(self.ghist, self.path, self.ghist_length)

@@ -47,12 +47,17 @@ _HYSTERESIS_MAX = 3
 def fcm_history_hash(history: tuple[int, ...], pc_key: int, index_bits: int) -> int:
     """The o4-FCM VPT index: staggered XOR of folded values, XORed with PC.
 
-    ``history[0]`` is the most recent folded value.
+    ``history[0]`` is the most recent folded value.  The accumulator is at
+    most 20 bits, so for the common VPT widths (>= 10 index bits) the
+    final fold collapses to a single shift-XOR — bit-identical to the
+    generic ``fold_value`` loop it specialises.
     """
     acc = 0
     for age, folded in enumerate(history):
         acc ^= (folded << age) & 0xFFFFF
     acc ^= pc_key & 0xFFFFF
+    if index_bits >= 10:
+        return (acc ^ (acc >> index_bits)) & ((1 << index_bits) - 1)
     return fold_value(acc, index_bits)
 
 

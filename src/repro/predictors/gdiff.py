@@ -119,7 +119,12 @@ class GDiffPredictor(ValuePredictor):
         self._prune()
 
     def train(self, key: int, actual: int, prediction: Prediction | None) -> None:
-        idx = table_index(key, self.index_bits)
+        # The lookup already hashed this key; reuse its index when the
+        # payload is available instead of rehashing.
+        if prediction is not None:
+            idx = prediction.payload[0]
+        else:
+            idx = table_index(key, self.index_bits)
         backing_pred = prediction.payload[2] if prediction is not None else None
         if self.backing is not None:
             self.backing.train(key, actual, backing_pred)

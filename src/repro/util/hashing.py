@@ -5,6 +5,26 @@ The paper indexes every value predictor with the macro-op PC mixed with the
 by two with the µ-op number inside the x86 instruction".  Tagged components
 additionally need a short partial tag computed from the same information
 (Section 6 / Table 1).
+
+Fast paths
+----------
+
+The scramble is the innermost arithmetic of the whole simulator (hundreds
+of thousands of calls per simulated slice), so two bit-identical fast
+paths exist alongside the reference implementations:
+
+* *Keyed memoisation* — :func:`scrambled_key` and :func:`scrambled_tag_key`
+  cache the scramble of context-free keys.  Predictor keys are static-
+  instruction identities, so a trace touches only a few hundred distinct
+  keys and the hit rate is effectively 100% after warm-up.
+  :func:`table_index` and :func:`tag_hash` route their ``extra == 0`` case
+  through these caches automatically.
+* *Fused pre-products* — for context-mixed lookups, TAGE/VTAGE fetch the
+  per-component ``(extra * _MIX2, extra * _MIX1)`` pre-products from the
+  incremental :class:`~repro.util.history.FoldedHistorySet` once per
+  branch and inline the remaining scramble arithmetic (see
+  ``branch/tage.py`` / ``core/vtage.py``), instead of calling
+  :func:`table_index`/:func:`tag_hash` per component per lookup.
 """
 
 from repro.util.bits import MASK64
@@ -13,6 +33,17 @@ from repro.util.bits import MASK64
 # architectural, they only need to spread indices across the tables.
 _MIX1 = 0x9E3779B97F4A7C15
 _MIX2 = 0xC2B2AE3D27D4EB4F
+
+#: Multiplier decorrelating the tag scramble from the index scramble.
+TAG_KEY_MULT = 0x2545F4914F6CDD1D
+
+#: Bound on the memoised scramble caches; far above any realistic static
+#: key population, it exists only to keep pathological key streams from
+#: growing the dictionaries without limit.
+_CACHE_LIMIT = 1 << 20
+
+_KEY_CACHE: dict[int, int] = {}
+_TAG_KEY_CACHE: dict[int, int] = {}
 
 
 def mix_pc_uop(pc: int, uop_index: int) -> int:
@@ -30,10 +61,32 @@ def _scramble(key: int) -> int:
     return key
 
 
+def scrambled_key(key: int) -> int:
+    """Memoised ``_scramble(key)`` for context-free table indexing."""
+    cached = _KEY_CACHE.get(key)
+    if cached is None:
+        if len(_KEY_CACHE) >= _CACHE_LIMIT:
+            _KEY_CACHE.clear()
+        cached = _KEY_CACHE[key] = _scramble(key)
+    return cached
+
+
+def scrambled_tag_key(key: int) -> int:
+    """Memoised ``_scramble(key * TAG_KEY_MULT)`` for context-free tags."""
+    cached = _TAG_KEY_CACHE.get(key)
+    if cached is None:
+        if len(_TAG_KEY_CACHE) >= _CACHE_LIMIT:
+            _TAG_KEY_CACHE.clear()
+        cached = _TAG_KEY_CACHE[key] = _scramble(key * TAG_KEY_MULT)
+    return cached
+
+
 def table_index(key: int, index_bits: int, extra: int = 0) -> int:
     """Hash *key* (optionally mixed with *extra* context) into a table index."""
     if index_bits <= 0:
         raise ValueError("index width must be positive")
+    if extra == 0:
+        return scrambled_key(key) & ((1 << index_bits) - 1)
     return _scramble(key ^ (extra * _MIX2)) & ((1 << index_bits) - 1)
 
 
@@ -46,5 +99,7 @@ def tag_hash(key: int, tag_bits: int, extra: int = 0) -> int:
     """
     if tag_bits <= 0:
         raise ValueError("tag width must be positive")
-    scrambled = _scramble((key * 0x2545F4914F6CDD1D) ^ (extra * _MIX1))
+    if extra == 0:
+        return (scrambled_tag_key(key) >> 17) & ((1 << tag_bits) - 1)
+    scrambled = _scramble((key * TAG_KEY_MULT) ^ (extra * _MIX1))
     return (scrambled >> 17) & ((1 << tag_bits) - 1)

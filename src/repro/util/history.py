@@ -1,0 +1,304 @@
+"""Incrementally-maintained folded branch/path history registers.
+
+TAGE-family predictors index every component with ``fold_value(ghist &
+((1 << L) - 1), 16)`` for the component's history length ``L``.  Computing
+that fold from scratch costs O(L / 16) per component per *lookup*; real
+TAGE hardware instead keeps a circular *folded register* per history
+length, updated in O(1) per *branch* — the design this module reproduces.
+
+The mathematics: the XOR-fold of an L-bit history into ``w`` bits is the
+history polynomial reduced modulo ``x^w + 1`` over GF(2) (``x^w == 1``).
+Pushing a bit ``b`` shifts the history and drops bit ``L-1``::
+
+    h' = ((h << 1) | b) & ((1 << L) - 1)
+
+so the folded value transforms as::
+
+    F(h') = rotl1(F(h)) ^ b ^ (h[L-1] << (L % w))
+
+which :meth:`FoldedHistoryRegister.push` implements in a handful of
+integer operations, keeping ``F(h)`` *bit-identical* to the from-scratch
+:func:`~repro.util.bits.fold_value` at every point in time.
+
+:class:`FoldedHistorySet` bundles one register per distinct history length
+and additionally caches, per length, the two hash pre-products the fused
+fast paths in :mod:`repro.util.hashing` consume (``compressed * MIX``
+masked to 64 bits).  A set is attached to the shared
+:class:`~repro.predictors.base.PredictionContext`, so TAGE and VTAGE
+components with equal history lengths share one register.  The set mirrors
+the context's ``(ghist, path)`` and transparently resynchronises from
+scratch whenever the context was mutated behind its back (tests build
+contexts by hand), so correctness never depends on the incremental path
+being reachable.
+"""
+
+from __future__ import annotations
+
+from repro.util.bits import MASK64
+from repro.util.hashing import _MIX1, _MIX2
+
+#: Fold width used by every TAGE-family component in this codebase.
+FOLD_WIDTH = 16
+
+#: :func:`repro.util.bits.fold_value` operates on the unsigned-64 domain:
+#: it truncates its input to 64 bits before folding.  A history window of
+#: length L therefore contributes only its low ``min(L, 64)`` bits to the
+#: seed model's compressed context, and the incremental registers must
+#: reproduce exactly that window to stay bit-identical.
+FOLD_HORIZON = 64
+
+
+def compressed_bits(max_length: int) -> int:
+    """Bit width of the compressed context for history lengths up to
+    *max_length* (``fold ^ (path << 1) ^ (L << 17)``) — what memo keys
+    packing a key alongside the compressed value must shift by."""
+    return 17 + max(1, max_length).bit_length()
+
+
+def fold_wide(value: int, width: int) -> int:
+    """XOR-fold an arbitrary-width integer down to *width* bits.
+
+    Unlike :func:`repro.util.bits.fold_value` this does *not* truncate to
+    64 bits first; it is the mathematical fold the registers maintain.
+    """
+    if width <= 0:
+        raise ValueError("fold width must be positive")
+    folded = 0
+    mask = (1 << width) - 1
+    while value:
+        folded ^= value & mask
+        value >>= width
+    return folded
+
+
+
+class FoldedHistoryRegister:
+    """One circular folded register: ``fold_value(ghist & mask_L, width)``.
+
+    Invariant (checked by the property tests): after any sequence of
+    :meth:`push` calls mirroring the global history updates, ``folded``
+    equals the from-scratch fold of the current L-bit history window.
+    """
+
+    __slots__ = ("length", "width", "mask", "outpoint", "folded")
+
+    def __init__(self, length: int, width: int = FOLD_WIDTH, ghist: int = 0):
+        if length <= 0:
+            raise ValueError("history length must be positive")
+        if width <= 0:
+            raise ValueError("fold width must be positive")
+        self.length = length
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.outpoint = length % width
+        self.folded = fold_wide(ghist & ((1 << length) - 1), width)
+
+    def push(self, new_bit: int, out_bit: int) -> int:
+        """Shift in *new_bit*; *out_bit* is bit ``length-1`` of the history
+        *before* the shift (the bit that falls out of the window)."""
+        c = ((self.folded << 1) | new_bit) ^ (out_bit << self.outpoint)
+        c ^= c >> self.width
+        self.folded = c & self.mask
+        return self.folded
+
+    def resync(self, ghist: int) -> int:
+        """Recompute from scratch (squash/rewind or external mutation)."""
+        self.folded = fold_wide(ghist & ((1 << self.length) - 1), self.width)
+        return self.folded
+
+
+class FoldedHistorySet:
+    """All folded registers of one prediction context, plus hash pre-products.
+
+    For each registered history length ``L`` the set maintains the exact
+    *compressed context* the seed model computed per lookup::
+
+        compressed = fold_value(ghist & mask_L, 16) ^ (path_L << 1) ^ (L << 17)
+
+    (``path_L`` = low ``min(L, 16)`` bits of the hashed path history) and
+    its two 64-bit multiplicative pre-products ``(compressed * MIX2) & M``
+    and ``(compressed * MIX1) & M`` that :func:`repro.util.hashing.table_index`
+    / :func:`~repro.util.hashing.tag_hash` would fold into the scramble.
+    Predictors fetch them once per lookup via :meth:`pairs` and inline the
+    remaining scramble arithmetic.
+
+    Layout and update strategy: the per-length folded values live in one
+    flat list, regenerated *lazily* — once per branch generation, only when
+    a consumer actually asks — by a lane-packed refold.  Because
+    ``fold_value``'s 64-bit horizon caps every effective window at
+    :data:`FOLD_HORIZON` bits, a single big-integer multiply replicates the
+    low-64 history into one 64-bit lane per register::
+
+        B = (ghist & MASK64) * (1 + 2**64 + 2**128 + ...)   # replicate
+        B &= lane_windows                                   # mask_L per lane
+        B ^= B >> 32; B ^= B >> 16                          # fold all lanes
+        folded_k = (B >> 64*k) & 0xFFFF                     # extract
+
+    which is a handful of wide-integer operations for *all* components
+    together, instead of an O(components) Python loop per branch.  The
+    lane fold is bit-identical to :class:`FoldedHistoryRegister` (and to
+    the from-scratch ``fold_value``) — the property tests pin all three
+    against each other.  Each consumer lengths-tuple additionally owns a
+    flat ``[e2, e1, compressed, ...]`` list rebuilt in place, so the
+    steady state allocates nothing per branch.
+    """
+
+    __slots__ = (
+        "_lens",
+        "_kidx",
+        "_folded",
+        "_ones",
+        "_lmask",
+        "_gdirty",
+        "_plans",
+        "_lists",
+        "_gen",
+        "_ghist",
+        "_path",
+    )
+
+    def __init__(self, ghist: int = 0, path: int = 0):
+        # One lane per distinct effective length (min(L, FOLD_HORIZON)).
+        self._lens: list[int] = []
+        self._kidx: dict[int, int] = {}  # effective length -> lane index
+        self._folded: list[int] = []
+        self._ones = 0   # sum of 1 << (64*k): the lane replicator
+        self._lmask = 0  # sum of window masks shifted into their lanes
+        self._gdirty = False
+        # Per-lengths-tuple: build plan [(lane, path_mask, L << 17), ...]
+        # and a [stamp, flat-triple-list] entry rewritten in place; a stamp
+        # equal to `_gen` marks the list current for this generation.
+        self._plans: dict[tuple[int, ...], list[tuple[int, int, int]]] = {}
+        self._lists: dict[tuple[int, ...], list] = {}
+        self._gen = 0
+        self._ghist = ghist
+        self._path = path
+
+    # -- history maintenance ------------------------------------------------
+
+    def push(self, bit: int, old_ghist: int, new_ghist: int, new_path: int,
+             max_bits: int = 256) -> None:
+        """Mirror one ``push_branch``: O(1) — the refold happens lazily.
+
+        The folded values are always regenerated from the *current*
+        history, so external mutation of the context needs no special
+        handling here (the signature arguments are kept for API symmetry
+        with the incremental reference register).
+        """
+        self._ghist = new_ghist
+        self._path = new_path
+        self._gdirty = True
+        self._gen += 1
+
+    def on_squash(self, ghist: int, path: int) -> None:
+        """Rewind to an architectural ``(ghist, path)`` point after a flush."""
+        self._resync(ghist, path)
+
+    # -- queries ------------------------------------------------------------
+
+    def pairs(self, lengths: tuple[int, ...], ghist: int,
+              path: int) -> list[int]:
+        """Flat ``[e2, e1, compressed] * len(lengths)`` list, in order.
+
+        ``compressed`` is the seed model's per-component compressed context
+        (also the natural memoisation key for position caches); ``e2`` and
+        ``e1`` are its 64-bit pre-products with the index/tag mix constants.
+        Component ``i``'s triple sits at offsets ``3*i .. 3*i+2``.  The
+        returned list object is stable per lengths-tuple and rewritten in
+        place after every history update — consume it immediately, do not
+        retain it across branches.
+
+        Verifies the caller's ``(ghist, path)`` against the mirrored state
+        and resynchronises when they diverge, so a hand-mutated context
+        still hashes exactly like the seed model.
+        """
+        if ghist != self._ghist or path != self._path:
+            self._resync(ghist, path)
+        gen = self._gen
+        entry = self._lists.get(lengths)
+        if entry is not None and entry[0] == gen:
+            return entry[1]
+        if entry is None:
+            entry = self._make_plan(lengths)
+        if self._gdirty:
+            self._refold()
+        folded = self._folded
+        p = self._path
+        lst = entry[1]
+        j = 0
+        for k, pmask, lshift in self._plans[lengths]:
+            compressed = folded[k] ^ ((p & pmask) << 1) ^ lshift
+            lst[j] = (compressed * _MIX2) & MASK64
+            lst[j + 1] = (compressed * _MIX1) & MASK64
+            lst[j + 2] = compressed
+            j += 3
+        entry[0] = gen
+        return lst
+
+    def folded(self, length: int, ghist: int) -> int:
+        """Current fold of the *length*-bit window (registers on demand).
+
+        Mirrors the seed semantics: windows longer than
+        :data:`FOLD_HORIZON` fold only their low 64 bits, exactly like
+        ``fold_value``.
+        """
+        if ghist != self._ghist:
+            self._resync(ghist, self._path)
+        effective = length if length < FOLD_HORIZON else FOLD_HORIZON
+        k = self._kidx.get(effective)
+        if k is None:
+            k = self._register(effective)
+        elif self._gdirty:
+            self._refold()
+        return self._folded[k]
+
+    # -- internals -----------------------------------------------------------
+
+    def _resync(self, ghist: int, path: int) -> None:
+        self._ghist = ghist
+        self._path = path
+        self._gdirty = True
+        self._gen += 1
+
+    def _refold(self) -> None:
+        """Regenerate every lane's folded value from the current history.
+
+        One replicate-mask-fold over the packed lanes; see the class
+        docstring for the lane algebra.
+        """
+        packed = ((self._ghist & MASK64) * self._ones) & self._lmask
+        packed ^= packed >> 32
+        packed ^= packed >> FOLD_WIDTH
+        folded = self._folded
+        shift = 0
+        for k in range(len(folded)):
+            folded[k] = (packed >> shift) & 0xFFFF
+            shift += 64
+        self._gdirty = False
+
+    def _register(self, effective: int) -> int:
+        k = len(self._lens)
+        self._kidx[effective] = k
+        self._lens.append(effective)
+        self._folded.append(
+            fold_wide(self._ghist & ((1 << effective) - 1), FOLD_WIDTH)
+        )
+        self._ones |= 1 << (64 * k)
+        self._lmask |= ((1 << effective) - 1) << (64 * k)
+        return k
+
+    def _make_plan(self, lengths: tuple[int, ...]) -> list:
+        plan = []
+        for length in lengths:
+            # fold_value truncates to 64 bits: components with longer
+            # windows share the 64-bit register slot (same folded value).
+            effective = length if length < FOLD_HORIZON else FOLD_HORIZON
+            k = self._kidx.get(effective)
+            if k is None:
+                k = self._register(effective)
+            path_bits = length if length < FOLD_WIDTH else FOLD_WIDTH
+            plan.append((k, (1 << path_bits) - 1, length << 17))
+        self._plans[lengths] = plan
+        entry = [self._gen - 1, [0] * (3 * len(lengths))]
+        self._lists[lengths] = entry
+        return entry

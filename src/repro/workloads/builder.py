@@ -43,13 +43,16 @@ class TraceBuilder:
         self._int_regs: dict[str, int] = {}
         self._fp_regs: dict[str, int] = {}
         self._call_stack: list[int] = []
+        # Emission counter mirroring len(self.trace); kernels read `n` once
+        # per emitted µop, so this saves a len() round-trip per operation.
+        self._n = 0
 
     # -- infrastructure ----------------------------------------------------
 
     @property
     def n(self) -> int:
         """Number of µops emitted so far."""
-        return len(self.trace)
+        return self._n
 
     def pc_of(self, label: str) -> int:
         """Stable PC for a static operation label."""
@@ -89,6 +92,7 @@ class TraceBuilder:
 
     def _emit(self, uop: MicroOp) -> MicroOp:
         self.trace.append(uop)
+        self._n += 1
         return uop
 
     # -- arithmetic ----------------------------------------------------------

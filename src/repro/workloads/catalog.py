@@ -173,6 +173,10 @@ def build_trace(name: str, n_uops: int, seed: int | None = None, cache: bool = T
         trace = trace[:n_uops]
         trace.name = name
     if cache:
+        # Materialise the columnar view once per cached trace, so every
+        # simulation that reuses the trace skips the per-µop rederivation
+        # (predictor keys, line ids, op-class flags) in the scheduler loop.
+        trace.columns()
         _TRACE_CACHE[key] = trace
     return trace
 

@@ -1,0 +1,123 @@
+"""Property tests: incremental/lane folded histories == from-scratch folds.
+
+The whole bit-identical-results contract of the fast simulation core rests
+on one equality: after ANY sequence of pushes (and squash/rewind events),
+the folded registers equal ``fold_value`` of the live history window.
+Hypothesis drives arbitrary push sequences through all three
+implementations — the incremental reference register, the lane-packed set,
+and the from-scratch fold — and requires exact agreement.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bits import MASK64, fold_value
+from repro.util.hashing import _MIX1, _MIX2
+from repro.util.history import (
+    FOLD_WIDTH,
+    FoldedHistoryRegister,
+    FoldedHistorySet,
+    fold_wide,
+)
+
+# A push sequence: branch outcomes plus path contributions.
+_pushes = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=0xFFFF)),
+    min_size=0,
+    max_size=200,
+)
+
+_lengths = st.lists(
+    st.integers(min_value=1, max_value=256), min_size=1, max_size=8, unique=True
+)
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+       width=st.integers(min_value=1, max_value=32))
+def test_fold_wide_equals_fold_value_on_64_bit_inputs(value, width):
+    assert fold_wide(value, width) == fold_value(value, width)
+
+
+@given(pushes=_pushes, length=st.integers(min_value=1, max_value=96))
+@settings(max_examples=60)
+def test_incremental_register_equals_from_scratch(pushes, length):
+    reg = FoldedHistoryRegister(length)
+    ghist = 0
+    for taken, _pc in pushes:
+        bit = 1 if taken else 0
+        out_bit = (ghist >> (length - 1)) & 1
+        ghist = (ghist << 1) | bit
+        reg.push(bit, out_bit)
+        assert reg.folded == fold_wide(ghist & ((1 << length) - 1), FOLD_WIDTH)
+
+
+@given(pushes=_pushes, lengths=_lengths)
+@settings(max_examples=60)
+def test_lane_set_pairs_equal_seed_compress_formula(pushes, lengths):
+    lengths = tuple(sorted(lengths))
+    s = FoldedHistorySet()
+    ghist = path = 0
+    for taken, pc in pushes:
+        bit = 1 if taken else 0
+        old = ghist
+        ghist = ((ghist << 1) | bit) & ((1 << 256) - 1)
+        path = ((path << 3) ^ pc) & 0xFFFFFFFF
+        s.push(bit, old, ghist, path)
+    triples = s.pairs(lengths, ghist, path)
+    for i, length in enumerate(lengths):
+        path_bits = min(length, 16)
+        compressed = (
+            fold_value(ghist & ((1 << length) - 1), 16)
+            ^ ((path & ((1 << path_bits) - 1)) << 1)
+            ^ (length << 17)
+        )
+        assert triples[3 * i] == (compressed * _MIX2) & MASK64
+        assert triples[3 * i + 1] == (compressed * _MIX1) & MASK64
+        assert triples[3 * i + 2] == compressed
+
+
+@given(pushes=_pushes,
+       squash_at=st.integers(min_value=0, max_value=199),
+       arch_ghist=st.integers(min_value=0, max_value=(1 << 64) - 1),
+       arch_path=st.integers(min_value=0, max_value=0xFFFFFFFF))
+@settings(max_examples=40)
+def test_on_squash_rewind_then_pushes_stay_exact(pushes, squash_at,
+                                                 arch_ghist, arch_path):
+    """Squash/rewind mid-sequence, then keep pushing: still exact."""
+    lengths = (2, 4, 8, 16, 32, 64, 256)
+    s = FoldedHistorySet()
+    ghist = path = 0
+    for step, (taken, pc) in enumerate(pushes):
+        if step == squash_at:
+            ghist, path = arch_ghist, arch_path
+            s.on_squash(ghist, path)
+        bit = 1 if taken else 0
+        old = ghist
+        ghist = ((ghist << 1) | bit) & ((1 << 256) - 1)
+        path = ((path << 3) ^ pc) & 0xFFFFFFFF
+        s.push(bit, old, ghist, path)
+    triples = s.pairs(lengths, ghist, path)
+    for i, length in enumerate(lengths):
+        assert triples[3 * i + 2] & 0x1FFFF == (
+            fold_value(ghist & ((1 << length) - 1), 16)
+            ^ ((path & ((1 << min(length, 16)) - 1)) << 1)
+        ) & 0x1FFFF
+
+
+@given(pushes=_pushes)
+@settings(max_examples=40)
+def test_folded_query_any_time_equals_fold_value(pushes):
+    """Interleave queries with pushes (the real consumption pattern)."""
+    s = FoldedHistorySet()
+    ghist = path = 0
+    for step, (taken, pc) in enumerate(pushes):
+        bit = 1 if taken else 0
+        old = ghist
+        ghist = ((ghist << 1) | bit) & ((1 << 256) - 1)
+        path = ((path << 3) ^ pc) & 0xFFFFFFFF
+        s.push(bit, old, ghist, path)
+        if step % 3 == 0:
+            for length in (5, 17, 64, 200):
+                assert s.folded(length, ghist) == fold_value(
+                    ghist & ((1 << length) - 1), FOLD_WIDTH
+                )

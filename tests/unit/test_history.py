@@ -1,0 +1,229 @@
+"""Incremental folded-history registers (util/history.py).
+
+The contract under test: at every point in time, the incrementally (or
+lane-) maintained folded values equal the from-scratch
+``fold_value(ghist & mask_L, 16)`` the seed model computed per lookup —
+that equality is what makes the optimized TAGE/VTAGE hashing bit-identical.
+"""
+
+import random
+
+import pytest
+
+from repro.predictors.base import PredictionContext
+from repro.util.bits import MASK64, fold_value
+from repro.util.hashing import _MIX1, _MIX2, table_index, tag_hash
+from repro.util.history import (
+    FOLD_HORIZON,
+    FOLD_WIDTH,
+    FoldedHistoryRegister,
+    FoldedHistorySet,
+    fold_wide,
+)
+
+
+def _reference_compressed(ghist: int, path: int, length: int) -> int:
+    """The seed model's compress()/compress_context() formula, verbatim."""
+    hist = ghist & ((1 << length) - 1)
+    path_bits = min(length, 16)
+    return (
+        fold_value(hist, 16)
+        ^ ((path & ((1 << path_bits) - 1)) << 1)
+        ^ (length << 17)
+    )
+
+
+class TestFoldWide:
+    def test_matches_fold_value_in_64_bit_domain(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            v = rng.getrandbits(64)
+            assert fold_wide(v, 16) == fold_value(v, 16)
+
+    def test_folds_beyond_64_bits(self):
+        # fold_value truncates; fold_wide does not.
+        v = 1 << 70
+        assert fold_value(v, 16) == 0
+        assert fold_wide(v, 16) == 1 << 6
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            fold_wide(1, 0)
+
+
+class TestFoldedHistoryRegister:
+    def test_push_tracks_from_scratch_fold(self):
+        rng = random.Random(2)
+        for length in (1, 2, 7, 15, 16, 17, 31, 32, 33, 63, 64):
+            reg = FoldedHistoryRegister(length)
+            ghist = 0
+            for _ in range(300):
+                bit = rng.getrandbits(1)
+                out_bit = (ghist >> (length - 1)) & 1
+                ghist = (ghist << 1) | bit
+                reg.push(bit, out_bit)
+                assert reg.folded == fold_wide(ghist & ((1 << length) - 1),
+                                               FOLD_WIDTH)
+
+    def test_resync_recovers_from_arbitrary_history(self):
+        reg = FoldedHistoryRegister(24)
+        reg.resync(0xDEADBEEF)
+        assert reg.folded == fold_wide(0xDEADBEEF & ((1 << 24) - 1), FOLD_WIDTH)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FoldedHistoryRegister(0)
+        with pytest.raises(ValueError):
+            FoldedHistoryRegister(4, width=0)
+
+
+class TestFoldedHistorySet:
+    LENGTHS_TAGE = (4, 6, 9, 12, 18, 26, 39, 56, 82, 120, 175, 256)
+    LENGTHS_VTAGE = (2, 4, 8, 16, 32, 64)
+
+    def _check_pairs(self, s, lengths, ghist, path):
+        triples = s.pairs(lengths, ghist, path)
+        for i, length in enumerate(lengths):
+            compressed = _reference_compressed(ghist, path, length)
+            assert triples[3 * i] == (compressed * _MIX2) & MASK64
+            assert triples[3 * i + 1] == (compressed * _MIX1) & MASK64
+            assert triples[3 * i + 2] == compressed
+
+    def test_pairs_match_reference_over_pushes(self):
+        rng = random.Random(3)
+        s = FoldedHistorySet()
+        ghist = path = 0
+        for _ in range(400):
+            bit = rng.getrandbits(1)
+            pc = rng.getrandbits(16)
+            old = ghist
+            ghist = ((ghist << 1) | bit) & ((1 << 256) - 1)
+            path = ((path << 3) ^ pc) & 0xFFFFFFFF
+            s.push(bit, old, ghist, path)
+            self._check_pairs(s, self.LENGTHS_TAGE, ghist, path)
+            self._check_pairs(s, self.LENGTHS_VTAGE, ghist, path)
+
+    def test_pairs_inline_scramble_matches_table_index_and_tag_hash(self):
+        """The fused consumer arithmetic in tage/vtage, checked end to end."""
+        rng = random.Random(4)
+        s = FoldedHistorySet()
+        ghist = rng.getrandbits(256)
+        path = rng.getrandbits(32)
+        triples = s.pairs(self.LENGTHS_VTAGE, ghist, path)
+        for i, length in enumerate(self.LENGTHS_VTAGE):
+            compressed = triples[3 * i + 2]
+            for key in (rng.getrandbits(40) for _ in range(20)):
+                x = key ^ triples[3 * i]
+                x ^= x >> 33
+                x = (x * _MIX1) & MASK64
+                x ^= x >> 29
+                x = (x * _MIX2) & MASK64
+                x ^= x >> 32
+                assert x & 1023 == table_index(key, 10, extra=compressed)
+                kt = (key * 0x2545F4914F6CDD1D) & MASK64
+                y = kt ^ triples[3 * i + 1]
+                y ^= y >> 33
+                y = (y * _MIX1) & MASK64
+                y ^= y >> 29
+                y = (y * _MIX2) & MASK64
+                y ^= y >> 32
+                assert (y >> 17) & 0xFFF == tag_hash(key, 12, extra=compressed)
+
+    def test_external_mutation_resyncs(self):
+        """A context mutated behind the set's back still hashes correctly."""
+        s = FoldedHistorySet()
+        s.pairs(self.LENGTHS_VTAGE, 0, 0)
+        # No push ever saw this history: the staleness check must catch it.
+        self._check_pairs(s, self.LENGTHS_VTAGE, 0b1011011, 0x1234)
+
+    def test_on_squash_rewinds(self):
+        rng = random.Random(5)
+        s = FoldedHistorySet()
+        ghist = path = 0
+        for _ in range(50):
+            bit = rng.getrandbits(1)
+            old = ghist
+            ghist = (ghist << 1) | bit
+            path = ((path << 3) ^ rng.getrandbits(16)) & 0xFFFFFFFF
+            s.push(bit, old, ghist, path)
+        arch_ghist, arch_path = 0b1100, 0x40
+        s.on_squash(arch_ghist, arch_path)
+        self._check_pairs(s, self.LENGTHS_TAGE, arch_ghist, arch_path)
+
+    def test_folded_uses_the_64_bit_horizon(self):
+        s = FoldedHistorySet()
+        ghist = (1 << 200) | 0b101  # bits beyond 64 are invisible to fold_value
+        for length in (2, 64, 256):
+            assert s.folded(length, ghist) == fold_value(
+                ghist & ((1 << length) - 1), FOLD_WIDTH
+            )
+        assert FOLD_HORIZON == 64
+
+    def test_shared_lanes_for_long_windows(self):
+        """Lengths beyond the horizon share one 64-bit lane (same fold)."""
+        s = FoldedHistorySet()
+        ghist = random.Random(6).getrandbits(256)
+        assert s.folded(82, ghist) == s.folded(256, ghist)
+
+
+class TestLongHistoryMemoKeys:
+    """History lengths >= 512 widen the compressed context beyond 26
+    bits; the memo keys must keep the key and compressed fields disjoint
+    (regression: a fixed 26-bit shift let positions of different PCs
+    collide)."""
+
+    def test_tage_positions_match_reference_for_long_histories(self):
+        from repro.branch.tage import TAGEBranchPredictor, TAGEConfig
+
+        config = TAGEConfig(min_history=4, max_history=1024, n_components=10)
+        tage = TAGEBranchPredictor(config)
+        ctx = PredictionContext()
+        rng = random.Random(13)
+        for _ in range(300):
+            ctx.push_branch(bool(rng.getrandbits(1)), rng.getrandbits(20))
+        for pc in (4, 5, 0x400000, 0x400004):
+            _, payload = tage.predict(pc, ctx)
+            positions = payload[3]
+            for comp, pos in zip(tage.components, positions):
+                assert pos == comp.position(pc, ctx), (pc, comp.history_length)
+
+    def test_vtage_positions_match_reference_for_long_histories(self):
+        from repro.core.vtage import VTAGEPredictor
+
+        v = VTAGEPredictor(history_lengths=(16, 128, 512, 1024))
+        ctx = PredictionContext()
+        rng = random.Random(14)
+        for _ in range(300):
+            ctx.push_branch(bool(rng.getrandbits(1)), rng.getrandbits(20))
+        for key in (4, 5, (0x400000 << 2), (0x400000 << 2) ^ 1):
+            pred = v.lookup(key, ctx)
+            positions = pred.payload[3]
+            for comp, pos in zip(v.components, positions):
+                assert pos == comp.index_and_tag(key, ctx), (key, comp.history_length)
+
+
+class TestPredictionContextIntegration:
+    def test_fold_set_attaches_and_tracks_push_branch(self):
+        ctx = PredictionContext()
+        folds = ctx.fold_set()
+        assert ctx.folds is folds
+        rng = random.Random(7)
+        for _ in range(100):
+            ctx.push_branch(bool(rng.getrandbits(1)), rng.getrandbits(20))
+            for length in (4, 16, 64):
+                assert folds.folded(length, ctx.ghist) == fold_value(
+                    ctx.ghist & ((1 << length) - 1), FOLD_WIDTH
+                )
+
+    def test_snapshot_does_not_share_fold_state(self):
+        ctx = PredictionContext()
+        ctx.fold_set()
+        snap = ctx.snapshot()
+        assert snap.folds is None
+        assert snap == PredictionContext(ctx.ghist, ctx.path, ctx.ghist_length)
+
+    def test_equality_ignores_fold_cache(self):
+        a = PredictionContext(ghist=0b1010, ghist_length=4)
+        b = PredictionContext(ghist=0b1010, ghist_length=4)
+        a.fold_set()
+        assert a == b

@@ -29,6 +29,115 @@ class TestBandwidthLimiter:
             BandwidthLimiter(0)
 
 
+class TestBandwidthLimiterPruning:
+    """The seed model leaked one dict entry per simulated cycle per
+    limiter for the whole run; `advance_watermark` must bound that while
+    never changing grant outcomes."""
+
+    def test_watermark_prunes_retired_cycles(self):
+        bw = BandwidthLimiter(1)
+        for cycle in range(4 * BandwidthLimiter.PRUNE_THRESHOLD):
+            bw.grant(cycle)
+        assert bw.tracked_cycles == 4 * BandwidthLimiter.PRUNE_THRESHOLD
+        bw.advance_watermark(4 * BandwidthLimiter.PRUNE_THRESHOLD)
+        assert bw.tracked_cycles == 0
+
+    def test_entry_count_stays_bounded_under_monotone_traffic(self):
+        bw = BandwidthLimiter(4)
+        high_water = 0
+        for cycle in range(20_000):
+            bw.grant(cycle)
+            if cycle % 512 == 0:
+                bw.advance_watermark(cycle)
+            high_water = max(high_water, bw.tracked_cycles)
+        # Without pruning this would reach 20_000 entries.
+        assert high_water <= 2 * BandwidthLimiter.PRUNE_THRESHOLD + 512
+
+    def test_pruning_never_changes_grants(self):
+        """Twin limiters, one pruned, one not: identical grant streams as
+        long as the watermark respects the caller contract."""
+        import random
+
+        rng = random.Random(99)
+        pruned = BandwidthLimiter(2)
+        reference = BandwidthLimiter(2)
+        floor = 0
+        for _ in range(5_000):
+            floor += rng.choice((0, 0, 0, 1, 2))
+            earliest = floor + rng.randrange(0, 8)
+            assert pruned.grant(earliest) == reference.grant(earliest)
+            pruned.advance_watermark(floor)
+        assert pruned.tracked_cycles <= reference.tracked_cycles
+
+    def test_watermark_prunes_in_place(self):
+        """Hot loops alias `_counts`; pruning must mutate, not replace."""
+        bw = BandwidthLimiter(1)
+        alias = bw._counts
+        for cycle in range(2 * BandwidthLimiter.PRUNE_THRESHOLD):
+            bw.grant(cycle)
+        bw.advance_watermark(2 * BandwidthLimiter.PRUNE_THRESHOLD)
+        assert bw._counts is alias
+
+    def test_simulated_run_keeps_limiters_bounded(self):
+        """End to end: a real simulation never accumulates unbounded
+        per-cycle entries.  The seed model retained one entry per
+        simulated cycle (~16k for this slice) in every limiter; the
+        pruned model stays well below that."""
+        from repro.pipeline import resources
+        from repro.pipeline.core import CoreModel
+        from repro.workloads.catalog import build_trace
+
+        trace = build_trace("gzip", 12_000)
+        seen = []
+        original_init = resources.BandwidthLimiter.__init__
+
+        def spying_init(self, width):
+            original_init(self, width)
+            seen.append(self)
+
+        resources.BandwidthLimiter.__init__ = spying_init
+        try:
+            result = CoreModel().run(trace, warmup=0, workload="gzip")
+        finally:
+            resources.BandwidthLimiter.__init__ = original_init
+        assert seen, "run() no longer uses BandwidthLimiter at all?"
+        assert result.cycles > 10_000  # the leak bound below is meaningful
+        for limiter in seen:
+            assert limiter.tracked_cycles < result.cycles // 2, (
+                "bandwidth limiter retained one entry per simulated cycle"
+            )
+
+    def test_redirect_free_run_still_prunes_fetch_limiters(self):
+        """A straight-line trace never advances fetch_resume (no redirects
+        of any kind), so fetch-side pruning must ride the fetch queue's
+        oldest pending release instead."""
+        from repro.pipeline import resources
+        from repro.pipeline.core import CoreModel
+        from repro.workloads.builder import TraceBuilder
+
+        builder = TraceBuilder("straightline", seed=11)
+        for i in range(40_000):
+            builder.alu(f"op{i % 977}", f"v{i % 7}", [f"v{(i + 1) % 7}"], i)
+        seen = []
+        original_init = resources.BandwidthLimiter.__init__
+
+        def spying_init(self, width):
+            original_init(self, width)
+            seen.append(self)
+
+        resources.BandwidthLimiter.__init__ = spying_init
+        try:
+            result = CoreModel().run(builder.trace, warmup=0)
+        finally:
+            resources.BandwidthLimiter.__init__ = original_init
+        assert result.branch_mispredicts == 0 and result.btb_redirects == 0
+        assert result.cycles > 4_000
+        for limiter in seen:
+            assert limiter.tracked_cycles < result.cycles // 2, (
+                "fetch-side limiter leaked on a redirect-free run"
+            )
+
+
 class TestUnitPool:
     def test_pipelined_throughput(self):
         pool = UnitPool(2)
