@@ -9,7 +9,19 @@ The kernel here is a toy JSON-ish tokenizer: a dispatch loop whose token
 kinds correlate with branch history (VTAGE food) around a memory-carried
 cursor (stride food).
 
-Run:  python examples/custom_workload.py
+Usage::
+
+    PYTHONPATH=src python examples/custom_workload.py
+
+Expect the trace statistics first, then a predictor comparison where
+VTAGE's coverage beats 2D-Stride's (the kind stream follows control flow,
+not arithmetic), and finally the hybrid's end-to-end speedup.
+
+If your workload is better described by *knobs* than by a hand-written
+kernel, the parameterised scenario family gets you there without code:
+``repro run scenario-c4-e25-l90`` simulates a pointer-chase/branch-
+entropy/value-locality kernel, and ``repro campaign run scenario-sweep``
+sweeps those knobs as campaign axes (see repro.workloads.scenarios).
 """
 
 from repro.analysis.metrics import evaluate_predictor

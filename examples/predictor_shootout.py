@@ -1,50 +1,70 @@
 #!/usr/bin/env python3
 """Scenario: which predictor family wins where (Sections 8.2.3 and 8.3).
 
-Runs the four single-scheme predictors plus the two hybrids over a set of
-behaviourally distinct workloads and prints a speedup matrix — the
-compressed version of Figures 4(b) and 7(a).
+Declares the whole comparison as one :class:`~repro.engine.CampaignSpec`
+— six predictor configurations × seven behaviourally distinct workloads,
+plus the no-VP baselines — executes it through
+:func:`~repro.engine.run_campaign`, and prints the speedup matrix (the
+compressed version of Figures 4(b) and 7(a)) straight off the campaign
+result's aggregation hooks.
 
-Run:  python examples/predictor_shootout.py [n_uops]
+Because the comparison *is* a campaign, the usual campaign machinery
+applies for free: ``REPRO_JOBS=4`` runs the grid on a process pool,
+``REPRO_CACHE_DIR`` makes re-runs instant, and passing a journal path as
+the second argument makes the sweep resumable after a kill.
+
+Usage::
+
+    python examples/predictor_shootout.py [n_uops] [journal.jsonl]
+
+    # e.g. a bigger slice, parallel, resumable:
+    REPRO_JOBS=4 python examples/predictor_shootout.py 48000 shootout.jsonl
+
+Expected output: a 7×6 table of speedups over the no-VP baseline, with
+2D-Stride leading on wupwise/bzip2, the context-based predictors leading
+on gcc/applu, and the VTAGE+2D-Stride hybrid at least matching the best
+single scheme everywhere (Section 8.3).
 """
 
 import sys
 
-from repro.analysis.report import format_table, geometric_mean
-from repro.experiments.runner import (
-    baseline_result,
-    make_predictor,
-    run_workload,
-)
+from repro.engine import AxisBlock, CampaignSpec, run_campaign
+from repro.engine.campaign import progress_printer
+from repro.experiments.campaigns import baseline_block, render_speedup_matrix
 
 WORKLOADS = ("wupwise", "bzip2", "gcc", "applu", "h264ref", "crafty", "namd")
 SCHEMES = ("lvp", "2dstride", "fcm", "vtage", "fcm-2dstride", "vtage-2dstride")
 
 
+def shootout_campaign(n_uops: int, warmup: int) -> CampaignSpec:
+    """The whole shootout, declared: scheme × workload, plus baselines."""
+    return CampaignSpec.union(
+        "predictor-shootout",
+        AxisBlock.make(
+            {"predictor": list(SCHEMES), "workload": list(WORKLOADS)},
+            base={"recovery": "squash", "n_uops": n_uops, "warmup": warmup},
+        ),
+        baseline_block(WORKLOADS, n_uops, warmup),
+        meta={"workloads": WORKLOADS, "n_uops": n_uops, "warmup": warmup},
+    )
+
+
 def main() -> None:
     n_uops = int(sys.argv[1]) if len(sys.argv) > 1 else 24_000
-    warmup = n_uops // 2
-    rows = []
-    per_scheme: dict[str, list[float]] = {s: [] for s in SCHEMES}
-    for workload in WORKLOADS:
-        base = baseline_result(workload, n_uops=n_uops, warmup=warmup)
-        row = [workload]
-        for scheme in SCHEMES:
-            result = run_workload(
-                workload, make_predictor(scheme, fpc=True),
-                n_uops=n_uops, warmup=warmup,
-            )
-            speedup = result.speedup_over(base)
-            per_scheme[scheme].append(speedup)
-            row.append(f"{speedup:.3f}")
-        rows.append(row)
-        print(f"  ... {workload} done", flush=True)
-    rows.append(
-        ["gmean"] + [f"{geometric_mean(per_scheme[s]):.3f}" for s in SCHEMES]
-    )
+    journal = sys.argv[2] if len(sys.argv) > 2 else None
+    spec = shootout_campaign(n_uops, warmup=n_uops // 2)
+
+    result = run_campaign(spec, journal=journal,
+                          progress=progress_printer(spec.name,
+                                                    stream=sys.stdout))
     print()
-    print(format_table(["benchmark"] + list(SCHEMES), rows,
-                       title="Speedup over no-VP baseline (FPC, squash at commit)"))
+    print(f"  {result.stats['total']} jobs: "
+          f"{result.stats['from_journal']} from journal, "
+          f"{result.stats['executed']} executed")
+    print()
+    print(render_speedup_matrix(
+        result, SCHEMES,
+        "Speedup over no-VP baseline (FPC, squash at commit)"))
     print()
     print("Expected shapes: 2D-Stride leads on wupwise/bzip2; VTAGE leads on")
     print("gcc/applu; the VTAGE+2D-Stride hybrid is at least as good as the")

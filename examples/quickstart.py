@@ -1,7 +1,27 @@
 #!/usr/bin/env python3
 """Quickstart: predict a value stream, then speed up a whole workload.
 
-Run:  python examples/quickstart.py
+Three stops, each one layer deeper into the stack:
+
+1. *trace-driven accuracy* — run three predictors over the gcc workload's
+   value stream with no timing model, and watch VTAGE win on
+   branch-history-correlated values;
+2. *Forward Probabilistic Counters* (paper Section 5) — see FPC trade
+   coverage for the >99.5 % accuracy that commit-time squash recovery
+   needs, on crafty's almost-stable values;
+3. *full pipeline* — a Table 2 core simulation of h264ref showing the
+   paper's Section 8.2.2 shape: small coverage, large speedup, because
+   the covered divisions gate the critical path.
+
+Usage::
+
+    PYTHONPATH=src python examples/quickstart.py
+
+Runs in well under a minute; expect section 3 to report a speedup around
+1.2-1.3x with coverage of only a few percent.  From here:
+``examples/recovery_comparison.py`` for the recovery-mechanism argument,
+``examples/predictor_shootout.py`` for the cross-predictor campaign, and
+``repro figure 4`` for a full paper figure.
 """
 
 from repro import quick_run

@@ -9,7 +9,17 @@ argument end to end:
 * plain counters + reissue -> rescued (cheap recovery);
 * FPC + either             -> gains, nearly identical across mechanisms.
 
-Run:  python examples/recovery_comparison.py
+Usage::
+
+    PYTHONPATH=src python examples/recovery_comparison.py
+
+The analytic half recomputes the paper's Section 3.1 cycles-per-kilo-
+instruction model (compare against the printed paper values); the
+simulated half runs the 2×2 grid on crafty and should show the FPC rows
+within a few percent of each other while the 3-bit/squash row loses.
+The full-size versions of this comparison are Figures 4 and 5:
+``repro campaign run fig4 --render`` / ``repro campaign run fig5
+--render`` (add ``--checkpoint-dir runs/`` to make them resumable).
 """
 
 from repro.analysis.cost_model import (

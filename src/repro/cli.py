@@ -5,6 +5,9 @@ Usage examples::
     python -m repro.cli run h264ref --predictor vtage-2dstride
     python -m repro.cli -j 4 figure 4 --uops 8000 --warmup 4000
     python -m repro.cli table 1
+    python -m repro.cli campaign run fig4 --checkpoint-dir runs/
+    python -m repro.cli campaign status --checkpoint-dir runs/
+    python -m repro.cli campaign resume fig4 --checkpoint-dir runs/
     python -m repro.cli cache show
     python -m repro.cli cache clear
     python -m repro.cli list
@@ -13,18 +16,33 @@ All simulations go through the experiment engine: ``--jobs/-j`` (or the
 ``REPRO_JOBS`` environment variable) selects how many worker processes run
 the job batches, and ``REPRO_CACHE_DIR`` (or ``--cache-dir``) enables the
 persistent result cache that ``cache show``/``cache clear`` manage.
-Results are bit-identical whatever the parallelism or cache state.
+``campaign`` commands execute whole declarative sweeps with an on-disk
+journal (``--checkpoint-dir`` or ``REPRO_CHECKPOINT_DIR``): a killed run
+resumes from the journal with a bit-identical result set.  Results are
+bit-identical whatever the parallelism, cache or checkpoint state.
+
+The full reference lives in ``docs/cli.md``, regenerated from these
+parsers by ``python -m repro.docs`` (CI fails on drift).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.engine.api import configure_default_engine, default_engine
 from repro.engine.cache import CACHE_DIR_ENV
+from repro.engine.campaign import progress_printer, run_campaign
+from repro.engine.checkpoint import (
+    CHECKPOINT_DIR_ENV,
+    CampaignJournal,
+    JournalError,
+    default_checkpoint_dir,
+)
 from repro.engine.executors import JOBS_ENV
 from repro.experiments import figures, tables
+from repro.experiments.campaigns import CAMPAIGNS
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
@@ -32,7 +50,7 @@ from repro.experiments.runner import (
     baseline_result,
     run_workload,
 )
-from repro.workloads.catalog import ALL_WORKLOADS, WORKLOADS
+from repro.workloads.catalog import ALL_WORKLOADS, WORKLOADS, known_workload
 
 _FIGURES = {
     "1": figures.figure1,
@@ -45,11 +63,23 @@ _FIGURES = {
 _TABLES = {"1": tables.table1, "2": tables.table2, "3": tables.table3}
 
 
-def _parse_workloads(raw: str | None) -> tuple[str, ...]:
-    if not raw:
-        return ALL_WORKLOADS
+def _workload_name(name: str) -> str:
+    if not known_workload(name):
+        raise argparse.ArgumentTypeError(
+            f"unknown workload {name!r} (catalog names are listed by "
+            "'repro list'; scenarios look like scenario-c4-e25-l90)"
+        )
+    return name
+
+
+def _parse_workloads(raw: str | None) -> tuple[str, ...] | None:
+    """Comma-separated workloads: catalog names or ``scenario-c*-e*-l*``."""
+    if raw is None:
+        return None
     names = tuple(name.strip() for name in raw.split(",") if name.strip())
-    unknown = [n for n in names if n not in ALL_WORKLOADS]
+    if not names:
+        raise SystemExit(f"--workloads got no workload names: {raw!r}")
+    unknown = [n for n in names if not known_workload(n)]
     if unknown:
         raise SystemExit(f"unknown workloads: {', '.join(unknown)}")
     return names
@@ -74,7 +104,7 @@ def cmd_table(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     fn = _FIGURES[args.which]
-    kwargs = {"workloads": _parse_workloads(args.workloads)}
+    kwargs = {"workloads": _parse_workloads(args.workloads) or ALL_WORKLOADS}
     if args.which != "1":
         kwargs.update(n_uops=args.uops, warmup=args.warmup)
     else:
@@ -90,6 +120,100 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("workloads (Table 3):")
     for spec in WORKLOADS:
         print(f"  {spec.name:<10} {spec.spec_name:<12} {spec.suite:<4} {spec.notes}")
+    print()
+    print("plus parameterised scenarios: scenario-c<chase>-e<entropy>-l<locality>")
+    print("  (e.g. scenario-c4-e25-l90; see repro.workloads.scenarios)")
+    print()
+    print("campaigns (repro campaign run <name>):")
+    for name, definition in CAMPAIGNS.items():
+        print(f"  {name:<16} {definition.help}")
+    return 0
+
+
+def _checkpoint_dir(args: argparse.Namespace) -> Path | None:
+    if args.checkpoint_dir:
+        return Path(args.checkpoint_dir)
+    return default_checkpoint_dir()
+
+
+def _campaign_spec(args: argparse.Namespace):
+    definition = CAMPAIGNS[args.name]
+    kwargs = {}
+    workloads = _parse_workloads(args.workloads)
+    if workloads is not None:
+        kwargs["workloads"] = workloads
+    if args.uops is not None:
+        kwargs["n_uops"] = args.uops
+    if args.warmup is not None:
+        kwargs["warmup"] = args.warmup
+    return definition, definition.build(**kwargs)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        for name, definition in CAMPAIGNS.items():
+            print(f"{name:<16} {definition.help}")
+        return 0
+
+    directory = _checkpoint_dir(args)
+    if args.action == "status":
+        if directory is None:
+            raise SystemExit("campaign status needs --checkpoint-dir "
+                             f"(or ${CHECKPOINT_DIR_ENV})")
+        paths = (sorted(directory.glob("*.jsonl"))
+                 if args.name is None
+                 else [directory / f"{args.name}.jsonl"])
+        if not (directory.is_dir() and paths):
+            print(f"no campaign journals under {directory}")
+            return 0
+        for path in paths:
+            if not path.is_file():
+                print(f"{path.stem:<16} no journal at {path}")
+                continue
+            info = CampaignJournal(path).describe()
+            total = info["total"]
+            if total:
+                pct = f"{100.0 * info['done'] / total:5.1f}%"
+                print(f"{info['campaign']:<16} {info['done']}/{total} "
+                      f"({pct}) done — {path}")
+            else:
+                print(f"{path.stem:<16} unreadable journal — {path}")
+            if info["corrupt_lines"]:
+                print(f"{'':<16} {info['corrupt_lines']} corrupt line(s) "
+                      "skipped (those jobs re-run on resume)")
+        return 0
+
+    # run / resume
+    if args.chunk is not None and args.chunk < 1:
+        raise SystemExit(f"--chunk must be >= 1, got {args.chunk}")
+    definition, spec = _campaign_spec(args)
+    journal = None
+    if directory is not None:
+        journal = directory / f"{spec.name}.jsonl"
+    if args.action == "resume":
+        if journal is None:
+            raise SystemExit("campaign resume needs --checkpoint-dir "
+                             f"(or ${CHECKPOINT_DIR_ENV})")
+        if not journal.is_file():
+            raise SystemExit(f"nothing to resume: no journal at {journal}")
+
+    try:
+        result = run_campaign(spec, journal=journal, chunk_size=args.chunk,
+                              progress=progress_printer(spec.name),
+                              force=args.force)
+    except JournalError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    stats = result.stats
+    print(file=sys.stderr)
+    print(f"campaign {spec.name}: {stats['total']} unique jobs — "
+          f"{stats['from_journal']} from journal, "
+          f"{stats['executed']} executed "
+          f"({stats['cache_hits']} answered by the result cache)")
+    if journal is not None:
+        print(f"journal: {journal}")
+    if args.render and definition.render is not None:
+        print()
+        print(definition.render(result))
     return 0
 
 
@@ -132,7 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="simulate one workload")
-    run_p.add_argument("workload", choices=ALL_WORKLOADS)
+    run_p.add_argument("workload", type=_workload_name, metavar="WORKLOAD",
+                       help="a Table 3 benchmark (see 'repro list') or a "
+                            "scenario-c<chase>-e<entropy>-l<locality> name")
     run_p.add_argument("--predictor", default="vtage-2dstride",
                        choices=PREDICTOR_NAMES)
     run_p.add_argument("--recovery", default="squash",
@@ -154,6 +280,67 @@ def build_parser() -> argparse.ArgumentParser:
     figure_p.add_argument("--uops", type=int, default=DEFAULT_MEASURE)
     figure_p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
     figure_p.set_defaults(fn=cmd_figure)
+
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="run, resume or inspect declarative sweep campaigns",
+        description="Execute whole sweeps (figure grids, the full "
+                    "reproduction, scenario explorations) as declarative "
+                    "campaigns with an on-disk journal: every completed "
+                    "simulation is checkpointed, and a killed run resumes "
+                    "bit-identically from where it stopped.",
+    )
+    campaign_sub = campaign_p.add_subparsers(dest="action", required=True)
+
+    def _campaign_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("name", choices=sorted(CAMPAIGNS),
+                       help="registered campaign")
+        p.add_argument("--workloads", default=None,
+                       help="comma-separated workload subset (catalog or "
+                            "scenario-c*-e*-l* names; default: the "
+                            "campaign's own grid)")
+        p.add_argument("--uops", type=int, default=None,
+                       help="measured µops per job (default: the "
+                            "campaign's own slice)")
+        p.add_argument("--warmup", type=int, default=None,
+                       help="warm-up µops per job (default: the "
+                            "campaign's own slice)")
+        p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="journal completed jobs under DIR/<name>.jsonl "
+                            f"(default: ${CHECKPOINT_DIR_ENV} or no journal)")
+        p.add_argument("--chunk", type=int, default=None, metavar="N",
+                       help="jobs per checkpointed batch (default: 1 "
+                            "serial, 4x workers with a pool)")
+        p.add_argument("--force", action="store_true",
+                       help="rotate aside a journal that belongs to a "
+                            "different job set and start over")
+        p.add_argument("--render", action="store_true",
+                       help="print the campaign's figure/table after the run")
+
+    campaign_run_p = campaign_sub.add_parser(
+        "run", help="execute a campaign (resumes automatically if a "
+                    "journal exists)")
+    _campaign_common(campaign_run_p)
+    campaign_run_p.set_defaults(fn=cmd_campaign)
+
+    campaign_resume_p = campaign_sub.add_parser(
+        "resume", help="like run, but requires an existing journal")
+    _campaign_common(campaign_resume_p)
+    campaign_resume_p.set_defaults(fn=cmd_campaign)
+
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="show journal completion for one or all campaigns")
+    campaign_status_p.add_argument("name", nargs="?", default=None,
+                                   help="campaign name (default: every "
+                                        "journal in the checkpoint dir)")
+    campaign_status_p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help=f"journal directory (default: ${CHECKPOINT_DIR_ENV})")
+    campaign_status_p.set_defaults(fn=cmd_campaign)
+
+    campaign_list_p = campaign_sub.add_parser(
+        "list", help="list registered campaigns")
+    campaign_list_p.set_defaults(fn=cmd_campaign)
 
     cache_p = sub.add_parser(
         "cache",

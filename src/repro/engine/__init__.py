@@ -16,6 +16,14 @@ from repro.engine.api import (
     run_jobs,
 )
 from repro.engine.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.engine.campaign import (
+    AxisBlock,
+    CampaignEvent,
+    CampaignResult,
+    CampaignSpec,
+    run_campaign,
+)
+from repro.engine.checkpoint import CampaignJournal, JournalError, JournalHeader
 from repro.engine.executors import (
     JOBS_ENV,
     PoolExecutor,
@@ -33,10 +41,17 @@ from repro.engine.job import (
 )
 
 __all__ = [
+    "AxisBlock",
     "CACHE_DIR_ENV",
+    "CampaignEvent",
+    "CampaignJournal",
+    "CampaignResult",
+    "CampaignSpec",
     "DEFAULT_MEASURE",
     "DEFAULT_WARMUP",
     "Engine",
+    "JournalError",
+    "JournalHeader",
     "JOBS_ENV",
     "PoolExecutor",
     "ResultCache",
@@ -50,6 +65,7 @@ __all__ = [
     "reset_default_engine",
     "reset_run_count",
     "resolve_jobs",
+    "run_campaign",
     "run_count",
     "run_grid",
     "run_job",

@@ -84,6 +84,15 @@ class ResultCache:
         self.misses += 1
         return None
 
+    def put_memory(self, job: SimJob, result: SimResult) -> None:
+        """Store in the in-process layer only (no disk write).
+
+        For results that already live durably elsewhere — e.g. campaign
+        journal entries replayed on resume — where re-persisting every
+        entry per invocation would be pure disk churn.
+        """
+        self._memory[job.content_key()] = result
+
     def put(self, job: SimJob, result: SimResult) -> None:
         key = job.content_key()
         self._memory[key] = result

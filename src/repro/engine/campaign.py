@@ -1,0 +1,476 @@
+"""Declarative campaigns: named axes that expand to engine job grids.
+
+The paper's evaluation is a family of *sweeps* — predictor kind ×
+confidence × recovery × workload, with figure-specific extras — and this
+module makes such sweeps first-class values instead of ad-hoc loops:
+
+* an :class:`AxisBlock` maps axis names (``SimJob.make`` keyword names)
+  to value lists, expanded as a cross-product or zipped, then filtered;
+* a :class:`CampaignSpec` is a named list of blocks (so "a grid plus its
+  baselines" is one spec), with a deterministic :meth:`campaign_key`
+  derived from the unique job content keys;
+* :func:`run_campaign` executes a spec through an :class:`~repro.engine.api.Engine`
+  in checkpointable chunks, optionally journaling every completed job to a
+  :class:`~repro.engine.checkpoint.CampaignJournal` so a killed sweep
+  resumes where it stopped, and streaming :class:`CampaignEvent` progress
+  callbacks;
+* the returned :class:`CampaignResult` carries aggregation hooks
+  (:meth:`~CampaignResult.by`, :meth:`~CampaignResult.lookup`,
+  :meth:`~CampaignResult.speedup_by_workload`) that the figure and
+  analysis layers consume directly.
+
+See DESIGN.md, "Campaign & checkpoint architecture".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import sys
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.engine.api import Engine, default_engine
+from repro.engine.checkpoint import CampaignJournal, JournalHeader
+from repro.engine.job import DEFAULT_MEASURE, DEFAULT_WARMUP, SimJob
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.result import SimResult
+
+#: Axis names a block may sweep — exactly the ``SimJob.make`` keywords.
+AXIS_NAMES = (
+    "workload",
+    "predictor",
+    "fpc",
+    "recovery",
+    "entries",
+    "n_uops",
+    "warmup",
+    "seed",
+    "config",
+)
+
+#: Default value of every job field, used to normalise points so that
+#: lookups can filter on axes a block left implicit.
+_POINT_DEFAULTS: dict[str, Any] = {
+    "predictor": "none",
+    "fpc": True,
+    "recovery": "squash",
+    "entries": 8192,
+    "n_uops": DEFAULT_MEASURE,
+    "warmup": DEFAULT_WARMUP,
+    "seed": None,
+    "config": None,
+}
+
+
+def _check_axis_names(names: Iterable[str]) -> None:
+    unknown = [n for n in names if n not in AXIS_NAMES]
+    if unknown:
+        raise ValueError(
+            f"unknown campaign axes {unknown}; valid axes: {', '.join(AXIS_NAMES)}"
+        )
+
+
+@dataclass(frozen=True)
+class AxisBlock:
+    """One axes→values mapping plus how to expand it.
+
+    ``axes`` preserves declaration order (the product iterates the last
+    axis fastest); ``base`` pins job fields shared by every point;
+    ``filters`` are predicates over the expanded point dict — a point
+    survives only if every filter returns true.  Filters run on *points*,
+    before jobs are built, so they can express cross-axis constraints
+    ("skip reissue for the oracle") declaratively at the spec layer.
+    """
+
+    axes: tuple[tuple[str, tuple], ...]
+    mode: str = "product"
+    base: tuple[tuple[str, Any], ...] = ()
+    filters: tuple[Callable[[dict], bool], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        axes: Mapping[str, Iterable],
+        *,
+        mode: str = "product",
+        base: Mapping[str, Any] | None = None,
+        filters: Iterable[Callable[[dict], bool]] = (),
+    ) -> "AxisBlock":
+        if mode not in ("product", "zip"):
+            raise ValueError(f"mode must be 'product' or 'zip', not {mode!r}")
+        axis_items = tuple((name, tuple(values)) for name, values in axes.items())
+        base_items = tuple((base or {}).items())
+        _check_axis_names([n for n, _ in axis_items])
+        _check_axis_names([n for n, _ in base_items])
+        overlap = {n for n, _ in axis_items} & {n for n, _ in base_items}
+        if overlap:
+            raise ValueError(f"axes and base both set {sorted(overlap)}")
+        if mode == "zip" and axis_items:
+            lengths = {len(values) for _, values in axis_items}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"zip mode needs equal-length axes; got lengths {sorted(lengths)}"
+                )
+        return cls(axes=axis_items, mode=mode, base=base_items,
+                   filters=tuple(filters))
+
+    def points(self) -> list[dict]:
+        """Expand to normalised point dicts (every job field present)."""
+        names = [n for n, _ in self.axes]
+        value_lists = [v for _, v in self.axes]
+        if not names:
+            combos: Iterable[tuple] = [()]
+        elif self.mode == "zip":
+            combos = zip(*value_lists)
+        else:
+            combos = itertools.product(*value_lists)
+        out = []
+        base = dict(self.base)
+        for combo in combos:
+            point = dict(_POINT_DEFAULTS)
+            point.update(base)
+            point.update(zip(names, combo))
+            if "workload" not in point:
+                raise ValueError("every campaign point needs a 'workload'")
+            if all(f(point) for f in self.filters):
+                out.append(point)
+        return out
+
+    def describe(self) -> dict:
+        return {
+            "axes": {name: [_jsonable(v) for v in values]
+                     for name, values in self.axes},
+            "mode": self.mode,
+            "base": {name: _jsonable(v) for name, v in self.base},
+            "filters": len(self.filters),
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, CoreConfig):
+        return value.to_dict()
+    return value
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, declarative sweep: one or more axis blocks.
+
+    Build directly from one axes mapping::
+
+        spec = CampaignSpec.make(
+            "fpc-sweep",
+            axes={"predictor": ["lvp", "vtage"], "fpc": [False, True],
+                  "workload": ["gzip", "crafty"]},
+            base={"n_uops": 36_000, "warmup": 12_000},
+        )
+
+    or compose blocks (a figure grid plus its no-VP baselines) with
+    :meth:`union`.  ``meta`` carries renderer hints (slice sizes, workload
+    order); it is *not* part of the campaign identity — only the expanded
+    job set is.
+    """
+
+    name: str
+    blocks: tuple[AxisBlock, ...]
+    meta: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        axes: Mapping[str, Iterable],
+        *,
+        mode: str = "product",
+        base: Mapping[str, Any] | None = None,
+        filters: Iterable[Callable[[dict], bool]] = (),
+        meta: Mapping[str, Any] | None = None,
+    ) -> "CampaignSpec":
+        block = AxisBlock.make(axes, mode=mode, base=base, filters=filters)
+        return cls(name=name, blocks=(block,), meta=tuple((meta or {}).items()))
+
+    @classmethod
+    def union(cls, name: str, *specs: "CampaignSpec | AxisBlock",
+              meta: Mapping[str, Any] | None = None) -> "CampaignSpec":
+        """Combine specs/blocks into one campaign (jobs dedupe on run)."""
+        blocks: list[AxisBlock] = []
+        for spec in specs:
+            if isinstance(spec, AxisBlock):
+                blocks.append(spec)
+            else:
+                blocks.extend(spec.blocks)
+        return cls(name=name, blocks=tuple(blocks),
+                   meta=tuple((meta or {}).items()))
+
+    def meta_dict(self) -> dict:
+        return dict(self.meta)
+
+    def points(self) -> list[dict]:
+        return [point for block in self.blocks for point in block.points()]
+
+    def jobs(self) -> list[SimJob]:
+        """One job per point, in point order (duplicates preserved)."""
+        return [SimJob.make(**point) for point in self.points()]
+
+    def unique_jobs(self) -> dict[str, SimJob]:
+        """Content-key → job, first occurrence wins, order preserved."""
+        unique: dict[str, SimJob] = {}
+        for job in self.jobs():
+            unique.setdefault(job.content_key(), job)
+        return unique
+
+    def campaign_key(self) -> str:
+        """Digest of the expanded job set — the journal-binding identity.
+
+        Depends only on *which simulations* the spec denotes (sorted unique
+        job content keys), so respelling axes, reordering blocks or
+        renaming the campaign never orphans a checkpoint, while any change
+        to the actual job set does.
+        """
+        return _digest_job_keys(self.unique_jobs())
+
+    def header(self) -> JournalHeader:
+        unique = self.unique_jobs()
+        return JournalHeader(campaign=self.name, key=_digest_job_keys(unique),
+                             total=len(unique))
+
+    def describe(self) -> dict:
+        unique = self.unique_jobs()
+        return {
+            "name": self.name,
+            "blocks": [block.describe() for block in self.blocks],
+            "points": len(self.points()),
+            "unique_jobs": len(unique),
+            "key": self.campaign_key(),
+        }
+
+
+def _digest_job_keys(keys: Iterable[str]) -> str:
+    return hashlib.sha256("\n".join(sorted(keys)).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Execution.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One progress tick: a job completed (or was replayed from disk)."""
+
+    done: int
+    total: int
+    job: SimJob
+    result: SimResult
+    source: str  # "journal" | "engine"
+
+
+def progress_printer(name: str, stream=None) -> Callable[[CampaignEvent], None]:
+    """A carriage-return progress callback for terminal runs.
+
+    The one implementation behind the CLI, the reproduce driver and the
+    examples; callers print their own summary line (after a bare
+    ``print(file=stream)`` to terminate the ``\\r`` line).
+    """
+    out = stream if stream is not None else sys.stderr
+
+    def progress(event: CampaignEvent) -> None:
+        print(f"\r[{name}] {event.done}/{event.total} "
+              f"{event.job.label():<44}", end="", file=out, flush=True)
+
+    return progress
+
+
+@dataclass
+class CampaignResult:
+    """Executed campaign: points, results and aggregation hooks.
+
+    ``keys`` holds each point's job content key, computed once at run
+    time, so the aggregation hooks below never re-serialise or re-hash a
+    job spec.
+    """
+
+    spec: CampaignSpec
+    points: list[dict]
+    jobs: list[SimJob]
+    keys: list[str]
+    results_by_key: dict[str, SimResult]
+    stats: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def results(self) -> list[SimResult]:
+        """Results aligned with :attr:`points` (duplicates share objects)."""
+        return [self.results_by_key[key] for key in self.keys]
+
+    def __iter__(self):
+        return iter(zip(self.points, self.results))
+
+    # -- aggregation hooks ----------------------------------------------
+
+    def _indices(self, axes: dict) -> list[int]:
+        return [
+            i
+            for i, point in enumerate(self.points)
+            if all(point.get(name) == value for name, value in axes.items())
+        ]
+
+    def select(self, **axes: Any) -> list[tuple[dict, SimResult]]:
+        """Points (with results) whose fields match every given value."""
+        return [(self.points[i], self.results_by_key[self.keys[i]])
+                for i in self._indices(axes)]
+
+    def lookup(self, **axes: Any) -> SimResult:
+        """The single result matching the given axis values.
+
+        Points that collapse onto the same job (identical content keys)
+        count as one; genuinely ambiguous or empty selections raise.
+        """
+        indices = self._indices(axes)
+        if not indices:
+            raise KeyError(f"no campaign point matches {axes}")
+        keys = {self.keys[i] for i in indices}
+        if len(keys) > 1:
+            raise KeyError(
+                f"{axes} matches {len(keys)} distinct jobs; add more axes"
+            )
+        return self.results_by_key[self.keys[indices[0]]]
+
+    def by(self, axis: str, **fixed: Any) -> dict[Any, SimResult]:
+        """Results keyed by one axis, with other axes optionally pinned.
+
+        Preserves point order.  Raises if two *different* jobs land on the
+        same key — that means ``fixed`` under-constrains the selection.
+        """
+        out: dict[Any, SimResult] = {}
+        seen_jobs: dict[Any, str] = {}
+        for i in self._indices(fixed):
+            key = self.points[i].get(axis)
+            content = self.keys[i]
+            if key in seen_jobs and seen_jobs[key] != content:
+                raise KeyError(
+                    f"by({axis!r}, **{fixed}) is ambiguous at {key!r}; "
+                    "pin more axes"
+                )
+            seen_jobs[key] = content
+            out[key] = self.results_by_key[content]
+        return out
+
+    def speedup_by_workload(self, **fixed: Any) -> dict[str, float]:
+        """Per-workload speedup of the selected runs over the campaign's
+        own no-VP baselines (``predictor="none"`` points)."""
+        baselines = self.by("workload", predictor="none")
+        if not baselines:
+            raise KeyError(
+                "speedup_by_workload needs predictor='none' baseline points "
+                "in the campaign; add a baseline block to the spec"
+            )
+        runs = self.by("workload", **fixed)
+        missing = [w for w in runs if w not in baselines]
+        if missing:
+            raise KeyError(
+                f"no predictor='none' baseline for workload(s) {missing}"
+            )
+        return {
+            workload: result.speedup_over(baselines[workload])
+            for workload, result in runs.items()
+        }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    engine: Engine | None = None,
+    journal: CampaignJournal | str | Path | None = None,
+    chunk_size: int | None = None,
+    progress: Callable[[CampaignEvent], None] | None = None,
+    force: bool = False,
+) -> CampaignResult:
+    """Execute a campaign, optionally journaled for crash-safe resume.
+
+    Jobs are deduplicated by content key, then the not-yet-journaled
+    remainder runs through the engine in checkpointable chunks of
+    ``chunk_size``.  The default chunking depends on whether a journal is
+    in play: with one, per-job for a serial executor and ``4 × workers``
+    for a pool (a kill loses at most one chunk while a pool still gets
+    full batches); without one there is nothing to checkpoint, so the
+    whole remainder goes down as a single batch (one pool spin-up, maximal
+    parallelism).  Every completed chunk is appended to the journal —
+    **including jobs the result cache answered**, so journal and cache
+    always tell the same story — before the next chunk starts.  Replayed
+    journal entries are pushed into the engine's result cache, which is
+    what makes follow-up per-cell lookups (figure rendering, analysis)
+    pure cache hits.
+
+    ``progress`` receives a :class:`CampaignEvent` per completed job,
+    replayed journal entries included.
+    """
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    engine = engine or default_engine()
+    points = spec.points()
+    jobs = [SimJob.make(**point) for point in points]
+    keys = [job.content_key() for job in jobs]
+    unique: dict[str, SimJob] = {}
+    for key, job in zip(keys, jobs):
+        unique.setdefault(key, job)
+    total = len(unique)
+
+    if isinstance(journal, (str, Path)):
+        journal = CampaignJournal(journal)
+    completed: dict[str, SimResult] = {}
+    stats = {"total": total, "from_journal": 0, "executed": 0,
+             "cache_hits": 0}
+    try:
+        if journal is not None:
+            journal.open(
+                JournalHeader(campaign=spec.name,
+                              key=_digest_job_keys(unique), total=total),
+                force=force,
+            )
+            for key, job in unique.items():
+                replayed = journal.entries.get(key)
+                if replayed is None:
+                    continue
+                completed[key] = replayed
+                # Memory layer only: the journal already holds the result
+                # durably, so re-persisting every entry on each resume or
+                # re-render would be pure disk churn.
+                engine.cache.put_memory(job, replayed)
+                stats["from_journal"] += 1
+                if progress is not None:
+                    progress(CampaignEvent(len(completed), total, job,
+                                           replayed, "journal"))
+
+        remaining = [job for key, job in unique.items() if key not in completed]
+        if chunk_size is None:
+            if journal is None:
+                # Nothing to checkpoint: submit everything as one batch.
+                chunk_size = max(1, len(remaining))
+            else:
+                workers = engine.executor.jobs
+                chunk_size = 1 if workers <= 1 else 4 * workers
+        hits_before = engine.cache.hits
+        for start in range(0, len(remaining), chunk_size):
+            chunk = remaining[start:start + chunk_size]
+            chunk_results = engine.run_jobs(chunk)
+            for job, result in zip(chunk, chunk_results):
+                completed[job.content_key()] = result
+                stats["executed"] += 1
+                if journal is not None:
+                    journal.record(job, result)
+                if progress is not None:
+                    progress(CampaignEvent(len(completed), total, job,
+                                           result, "engine"))
+        stats["cache_hits"] = engine.cache.hits - hits_before
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return CampaignResult(spec=spec, points=points, jobs=jobs, keys=keys,
+                          results_by_key=completed, stats=stats)

@@ -5,6 +5,13 @@ series plus a rendered text version (tables + ASCII bar charts).  The
 drivers accept slice sizes so benchmarks can run scaled-down versions while
 EXPERIMENTS.md records fuller runs.
 
+Each simulation-backed figure is *one campaign*: its job grid comes from
+the matching spec in :mod:`repro.experiments.campaigns`, executes through
+:func:`~repro.engine.campaign.run_campaign` (so a pool executor sees the
+whole grid at once, and an optional ``journal`` makes the figure
+resumable after a kill), and the series below are read off the returned
+:class:`~repro.engine.campaign.CampaignResult`'s aggregation hooks.
+
 Paper-figure inventory (Section 8):
 
 * Figure 1  — back-to-back prediction critical paths (Section 3.2);
@@ -20,16 +27,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.report import ascii_bar_chart, format_table, geometric_mean
-from repro.engine.api import run_jobs
-from repro.engine.job import SimJob
-from repro.experiments.runner import (
-    DEFAULT_MEASURE,
-    DEFAULT_WARMUP,
-    baseline_job,
-    run_suite,
-    speedups,
-    suite_jobs,
+from repro.engine.campaign import run_campaign
+from repro.experiments.campaigns import (
+    HYBRID_SCHEMES,
+    SINGLE_SCHEMES,
+    figure3_campaign,
+    figure4_campaign,
+    figure5_campaign,
+    figure6_campaign,
+    figure7_campaign,
 )
+from repro.experiments.runner import DEFAULT_MEASURE, DEFAULT_WARMUP
 from repro.workloads.catalog import ALL_WORKLOADS, build_trace
 
 
@@ -132,14 +140,12 @@ def figure3(
     workloads: tuple[str, ...] = ALL_WORKLOADS,
     n_uops: int = DEFAULT_MEASURE,
     warmup: int = DEFAULT_WARMUP,
+    journal=None,
 ) -> FigureResult:
     """Speedup upper bound: an oracle predicts all results (Fig. 3)."""
-    _batch(
-        suite_jobs("oracle", workloads, n_uops, warmup)
-        + [baseline_job(w, n_uops, warmup) for w in workloads]
-    )
-    results = run_suite("oracle", workloads, n_uops=n_uops, warmup=warmup)
-    series = speedups(results, n_uops, warmup)
+    res = run_campaign(figure3_campaign(workloads, n_uops, warmup),
+                       journal=journal)
+    series = res.speedup_by_workload(predictor="oracle")
     text = ascii_bar_chart(
         series,
         title="Figure 3: speedup upper bound (perfect value predictor)",
@@ -151,19 +157,8 @@ def figure3(
 # ---------------------------------------------------------------------------
 # Figures 4 & 5: single-scheme predictors, two recovery mechanisms.
 # ---------------------------------------------------------------------------
-
-SINGLE_SCHEMES = ("lvp", "2dstride", "fcm", "vtage")
-
-
-def _batch(jobs: list[SimJob]) -> None:
-    """Warm the engine cache with one batch submission.
-
-    Submitting the whole figure as a single ``run_jobs`` call lets a pool
-    executor run every (scheme, confidence, workload) cell — and the
-    baselines — in parallel; the per-cell lookups below are then pure
-    cache hits regardless of backend.
-    """
-    run_jobs(jobs)
+# SINGLE_SCHEMES / HYBRID_SCHEMES are defined next to the campaign specs
+# (repro.experiments.campaigns) and re-exported here for existing callers.
 
 
 def _predictor_grid(
@@ -171,28 +166,23 @@ def _predictor_grid(
     workloads: tuple[str, ...],
     n_uops: int,
     warmup: int,
+    journal=None,
 ) -> dict:
-    _batch(
-        [
-            job
-            for fpc in (False, True)
-            for scheme in SINGLE_SCHEMES
-            for job in suite_jobs(scheme, workloads, n_uops, warmup,
-                                  fpc=fpc, recovery=recovery)
-        ]
-        + [baseline_job(w, n_uops, warmup) for w in workloads]
+    """Run the Fig. 4/5 campaign and pivot it into the legacy grid shape."""
+    spec = (figure4_campaign if recovery == "squash" else figure5_campaign)(
+        workloads, n_uops, warmup
     )
+    res = run_campaign(spec, journal=journal)
     grid: dict = {}
     for fpc in (False, True):
         label = "FPC" if fpc else "baseline"
         grid[label] = {}
         for scheme in SINGLE_SCHEMES:
-            results = run_suite(
-                scheme, workloads, n_uops=n_uops, warmup=warmup,
-                fpc=fpc, recovery=recovery,
-            )
+            results = res.by("workload", predictor=scheme, fpc=fpc,
+                             recovery=recovery)
             grid[label][scheme] = {
-                "speedup": speedups(results, n_uops, warmup),
+                "speedup": res.speedup_by_workload(predictor=scheme, fpc=fpc,
+                                                   recovery=recovery),
                 "coverage": {w: r.coverage for w, r in results.items()},
                 "accuracy": {w: r.accuracy for w, r in results.items()},
                 "squashes": {w: r.vp_squashes for w, r in results.items()},
@@ -231,10 +221,11 @@ def figure4(
     workloads: tuple[str, ...] = ALL_WORKLOADS,
     n_uops: int = DEFAULT_MEASURE,
     warmup: int = DEFAULT_WARMUP,
+    journal=None,
 ) -> FigureResult:
     """Fig. 4: speedups with squash-at-commit recovery, (a) baseline 3-bit
     counters, (b) FPC."""
-    grid = _predictor_grid("squash", workloads, n_uops, warmup)
+    grid = _predictor_grid("squash", workloads, n_uops, warmup, journal)
     text = _render_grid(
         "fig4", "Figure 4: squashing at commit on value misprediction", grid
     )
@@ -245,9 +236,10 @@ def figure5(
     workloads: tuple[str, ...] = ALL_WORKLOADS,
     n_uops: int = DEFAULT_MEASURE,
     warmup: int = DEFAULT_WARMUP,
+    journal=None,
 ) -> FigureResult:
     """Fig. 5: speedups with idealistic selective reissue."""
-    grid = _predictor_grid("reissue", workloads, n_uops, warmup)
+    grid = _predictor_grid("reissue", workloads, n_uops, warmup, journal)
     text = _render_grid(
         "fig5", "Figure 5: idealistic selective reissue on value misprediction",
         grid,
@@ -263,22 +255,16 @@ def figure6(
     workloads: tuple[str, ...] = ALL_WORKLOADS,
     n_uops: int = DEFAULT_MEASURE,
     warmup: int = DEFAULT_WARMUP,
+    journal=None,
 ) -> FigureResult:
-    _batch(
-        [
-            job
-            for fpc in (False, True)
-            for job in suite_jobs("vtage", workloads, n_uops, warmup, fpc=fpc)
-        ]
-        + [baseline_job(w, n_uops, warmup) for w in workloads]
-    )
+    res = run_campaign(figure6_campaign(workloads, n_uops, warmup),
+                       journal=journal)
     series: dict = {}
     for fpc in (False, True):
         label = "FPC" if fpc else "baseline"
-        results = run_suite("vtage", workloads, n_uops=n_uops, warmup=warmup,
-                            fpc=fpc, recovery="squash")
+        results = res.by("workload", predictor="vtage", fpc=fpc)
         series[label] = {
-            "speedup": speedups(results, n_uops, warmup),
+            "speedup": res.speedup_by_workload(predictor="vtage", fpc=fpc),
             "coverage": {w: r.coverage for w, r in results.items()},
             "accuracy": {w: r.accuracy for w, r in results.items()},
         }
@@ -308,28 +294,20 @@ def figure6(
 # Figure 7: hybrids.
 # ---------------------------------------------------------------------------
 
-HYBRID_SCHEMES = ("2dstride", "fcm", "vtage", "fcm-2dstride", "vtage-2dstride")
-
 
 def figure7(
     workloads: tuple[str, ...] = ALL_WORKLOADS,
     n_uops: int = DEFAULT_MEASURE,
     warmup: int = DEFAULT_WARMUP,
+    journal=None,
 ) -> FigureResult:
-    _batch(
-        [
-            job
-            for scheme in HYBRID_SCHEMES
-            for job in suite_jobs(scheme, workloads, n_uops, warmup)
-        ]
-        + [baseline_job(w, n_uops, warmup) for w in workloads]
-    )
+    res = run_campaign(figure7_campaign(workloads, n_uops, warmup),
+                       journal=journal)
     series: dict = {}
     for scheme in HYBRID_SCHEMES:
-        results = run_suite(scheme, workloads, n_uops=n_uops, warmup=warmup,
-                            fpc=True, recovery="squash")
+        results = res.by("workload", predictor=scheme)
         series[scheme] = {
-            "speedup": speedups(results, n_uops, warmup),
+            "speedup": res.speedup_by_workload(predictor=scheme),
             "coverage": {w: r.coverage for w, r in results.items()},
         }
     speed_rows = []

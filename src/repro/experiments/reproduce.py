@@ -4,10 +4,18 @@
 the whole evaluation and writes EXPERIMENTS.md-style output to stdout (the
 repository checks in the result as EXPERIMENTS.md).
 
+The whole evaluation is *one campaign*: the union of every figure grid
+(:func:`repro.experiments.campaigns.reproduce_campaign`) executes up
+front through :func:`~repro.engine.campaign.run_campaign`, after which
+the figure renderers are pure cache replays.  With ``--checkpoint-dir``
+every completed simulation is journaled as it finishes, so a killed
+multi-hour run resumes where it stopped — re-running the same command
+produces byte-identical output either way.
+
 Every simulation goes through the experiment engine: ``--jobs``/``-j`` (or
-``REPRO_JOBS``) fans the per-figure job batches out over a process pool,
-and ``REPRO_CACHE_DIR`` persists results so a re-run only simulates what
-changed.  Output is byte-identical regardless of either knob.
+``REPRO_JOBS``) fans the campaign out over a process pool, and
+``REPRO_CACHE_DIR`` persists results so a re-run only simulates what
+changed.  Output is byte-identical regardless of any of these knobs.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis.cost_model import (
     PAPER_SCENARIOS,
@@ -23,7 +32,10 @@ from repro.analysis.cost_model import (
 )
 from repro.analysis.report import format_table, geometric_mean
 from repro.engine.api import configure_default_engine
+from repro.engine.campaign import progress_printer, run_campaign
+from repro.engine.checkpoint import default_checkpoint_dir
 from repro.experiments import figures, tables
+from repro.experiments.campaigns import reproduce_campaign
 from repro.experiments.runner import DEFAULT_MEASURE, DEFAULT_WARMUP
 
 
@@ -91,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent result-cache directory (default: $REPRO_CACHE_DIR "
              "or memory-only)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="journal every completed simulation under DIR so a killed run "
+             "resumes where it stopped (the journal is DIR/reproduce.jsonl; "
+             "default: $REPRO_CHECKPOINT_DIR or no journal)",
+    )
     return parser
 
 
@@ -99,6 +117,22 @@ def main(argv: list[str] | None = None) -> int:
     n_uops, warmup = args.n_uops, args.warmup
     engine = configure_default_engine(jobs=args.jobs, cache_dir=args.cache_dir)
     t0 = time.time()
+
+    # Execute the whole evaluation as one (optionally journaled) campaign;
+    # the per-figure rendering below then replays it from the result cache.
+    spec = reproduce_campaign(n_uops=n_uops, warmup=warmup)
+    journal = None
+    checkpoint_dir = (Path(args.checkpoint_dir) if args.checkpoint_dir
+                      else default_checkpoint_dir())
+    if checkpoint_dir is not None:
+        journal = checkpoint_dir / f"{spec.name}.jsonl"
+
+    campaign = run_campaign(spec, engine=engine, journal=journal,
+                            progress=progress_printer(spec.name))
+    print(file=sys.stderr)
+    print(f"[{spec.name}] {campaign.stats['total']} jobs: "
+          f"{campaign.stats['from_journal']} from journal, "
+          f"{campaign.stats['executed']} executed", file=sys.stderr)
 
     print("# EXPERIMENTS — paper vs. reproduction")
     print()

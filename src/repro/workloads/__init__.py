@@ -16,16 +16,28 @@ from repro.workloads.catalog import (
     build_trace,
     clear_trace_cache,
     get_spec,
+    known_workload,
+)
+from repro.workloads.scenarios import (
+    ScenarioParams,
+    is_scenario_name,
+    parse_scenario_name,
+    scenario_axis,
 )
 
 __all__ = [
     "ALL_WORKLOADS",
     "FP_WORKLOADS",
     "INT_WORKLOADS",
+    "ScenarioParams",
     "TraceBuilder",
     "WORKLOADS",
     "WorkloadSpec",
     "build_trace",
     "clear_trace_cache",
     "get_spec",
+    "is_scenario_name",
+    "known_workload",
+    "parse_scenario_name",
+    "scenario_axis",
 ]

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.isa.trace import Trace
-from repro.workloads import kernels_fp, kernels_int
+from repro.workloads import kernels_fp, kernels_int, scenarios
 from repro.workloads.builder import TraceBuilder
 from repro.workloads.invariants import inject_invariants
 
@@ -143,14 +143,39 @@ def get_spec(name: str) -> WorkloadSpec:
         ) from None
 
 
+def known_workload(name: str) -> bool:
+    """True for catalog benchmarks *and* parameterised scenario names."""
+    return name in _BY_NAME or scenarios.is_scenario_name(name)
+
+
 def build_trace(name: str, n_uops: int, seed: int | None = None, cache: bool = True) -> Trace:
     """Generate (or fetch from cache) the µop trace for one benchmark.
 
-    The kernel generates the distinctive value streams; the invariant pass
-    splices in the benchmark's calibrated share of trivially-redundant
-    values (see :mod:`repro.workloads.invariants`).  The returned trace has
-    at least *n_uops* µops; callers slice off what they need.
+    *name* is either a Table 3 catalog entry or a parameterised scenario
+    (``scenario-c*-e*-l*``, see :mod:`repro.workloads.scenarios`).  For
+    catalog entries the kernel generates the distinctive value streams and
+    the invariant pass splices in the benchmark's calibrated share of
+    trivially-redundant values (see :mod:`repro.workloads.invariants`);
+    scenarios control their own redundancy through the locality knob.  The
+    returned trace has at least *n_uops* µops; callers slice off what they
+    need.
     """
+    params = scenarios.parse_scenario_name(name)
+    if params is not None:
+        effective_seed = seed if seed is not None else params.default_seed()
+        key = (name, n_uops, effective_seed)
+        if cache and key in _TRACE_CACHE:
+            return _TRACE_CACHE[key]
+        builder = TraceBuilder(name, seed=effective_seed)
+        scenarios.scenario_kernel(params, builder, n_uops)
+        trace = builder.trace
+        if len(trace) > n_uops:
+            trace = trace[:n_uops]
+            trace.name = name
+        if cache:
+            trace.columns()
+            _TRACE_CACHE[key] = trace
+        return trace
     spec = get_spec(name)
     effective_seed = seed if seed is not None else spec.seed
     key = (name, n_uops, effective_seed)

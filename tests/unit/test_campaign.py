@@ -1,0 +1,287 @@
+"""Campaign specs: expansion, identity, aggregation, cache/journal accord."""
+
+import pytest
+
+from repro.engine import job as job_mod
+from repro.engine.api import Engine
+from repro.engine.cache import ResultCache
+from repro.engine.campaign import (
+    AxisBlock,
+    CampaignSpec,
+    run_campaign,
+)
+from repro.engine.checkpoint import CampaignJournal
+from repro.engine.executors import SerialExecutor
+from repro.engine.job import SimJob
+from repro.pipeline.config import CoreConfig
+from repro.workloads.scenarios import scenario_axis
+
+TINY = {"n_uops": 1500, "warmup": 800}
+
+
+def tiny_spec(name="tiny") -> CampaignSpec:
+    return CampaignSpec.union(
+        name,
+        AxisBlock.make(
+            {"predictor": ["lvp", "vtage"], "workload": ["gzip", "crafty"]},
+            base=TINY,
+        ),
+        AxisBlock.make(
+            {"workload": ["gzip", "crafty"]},
+            base={"predictor": "none", **TINY},
+        ),
+    )
+
+
+def fresh_engine() -> Engine:
+    return Engine(SerialExecutor(), ResultCache())
+
+
+# ---------------------------------------------------------------------------
+# Spec expansion.
+# ---------------------------------------------------------------------------
+
+class TestExpansion:
+    def test_product_expands_cross_product(self):
+        spec = CampaignSpec.make(
+            "p", {"predictor": ["lvp", "vtage"], "workload": ["gzip", "crafty"]},
+            base=TINY,
+        )
+        points = spec.points()
+        assert len(points) == 4
+        assert {(p["predictor"], p["workload"]) for p in points} == {
+            ("lvp", "gzip"), ("lvp", "crafty"),
+            ("vtage", "gzip"), ("vtage", "crafty"),
+        }
+
+    def test_points_are_normalised(self):
+        [point] = CampaignSpec.make("p", {"workload": ["gzip"]}).points()
+        # Every SimJob.make keyword is present, with its default value.
+        assert point["predictor"] == "none"
+        assert point["fpc"] is True
+        assert point["recovery"] == "squash"
+        assert point["entries"] == 8192
+        assert point["seed"] is None
+        assert point["config"] is None
+
+    def test_zip_mode_pairs_axes(self):
+        spec = CampaignSpec.make(
+            "z", {"workload": ["gzip", "crafty"], "predictor": ["lvp", "vtage"]},
+            mode="zip",
+        )
+        assert [(p["workload"], p["predictor"]) for p in spec.points()] == [
+            ("gzip", "lvp"), ("crafty", "vtage"),
+        ]
+
+    def test_zip_mode_rejects_ragged_axes(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            AxisBlock.make({"workload": ["gzip"], "predictor": ["lvp", "vtage"]},
+                           mode="zip")
+
+    def test_filters_drop_points(self):
+        spec = CampaignSpec.make(
+            "f",
+            {"predictor": ["none", "lvp"], "fpc": [False, True],
+             "workload": ["gzip"]},
+            filters=[lambda p: not (p["predictor"] == "none" and not p["fpc"])],
+        )
+        points = spec.points()
+        assert len(points) == 3
+        assert all(p["fpc"] or p["predictor"] != "none" for p in points)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign axes"):
+            AxisBlock.make({"wrkload": ["gzip"]})
+
+    def test_axes_and_base_must_not_overlap(self):
+        with pytest.raises(ValueError, match="both set"):
+            AxisBlock.make({"workload": ["gzip"]}, base={"workload": "gzip"})
+
+    def test_workload_is_mandatory(self):
+        with pytest.raises(ValueError, match="workload"):
+            CampaignSpec.make("w", {"predictor": ["lvp"]}).points()
+
+    def test_union_concatenates_and_run_dedupes(self):
+        spec = tiny_spec()
+        assert len(spec.points()) == 6
+        assert len(spec.unique_jobs()) == 6
+        doubled = CampaignSpec.union("d", spec, spec)
+        assert len(doubled.points()) == 12
+        assert len(doubled.unique_jobs()) == 6
+
+    def test_config_axis_values(self):
+        spec = CampaignSpec.make(
+            "c", {"workload": ["gzip"],
+                  "config": [None, CoreConfig(issue_width=4)]},
+            base=TINY,
+        )
+        keys = {j.content_key() for j in spec.jobs()}
+        assert len(keys) == 2
+
+    def test_scenario_names_work_as_workload_axis(self):
+        spec = CampaignSpec.make(
+            "s", {"workload": scenario_axis(chase=(1,), entropy=(5, 50),
+                                            locality=(90,))},
+            base={"predictor": "lvp", **TINY},
+        )
+        results = run_campaign(spec, engine=fresh_engine())
+        assert len(results.results_by_key) == 2
+
+
+# ---------------------------------------------------------------------------
+# Campaign identity.
+# ---------------------------------------------------------------------------
+
+class TestCampaignKey:
+    def test_key_ignores_spelling_and_order(self):
+        a = tiny_spec("one-name")
+        blocks = tuple(reversed(tiny_spec("other-name").blocks))
+        b = CampaignSpec("other-name", blocks)
+        assert a.campaign_key() == b.campaign_key()
+
+    def test_key_tracks_the_job_set(self):
+        base = tiny_spec().campaign_key()
+        bigger = CampaignSpec.union(
+            "tiny",
+            *tiny_spec().blocks,
+            AxisBlock.make({"workload": ["vpr"]}, base={"predictor": "lvp", **TINY}),
+        )
+        assert bigger.campaign_key() != base
+        resized = CampaignSpec.union(
+            "tiny",
+            AxisBlock.make(
+                {"predictor": ["lvp", "vtage"], "workload": ["gzip", "crafty"]},
+                base={"n_uops": 2000, "warmup": 800},
+            ),
+        )
+        assert resized.campaign_key() != base
+
+
+# ---------------------------------------------------------------------------
+# Execution and aggregation hooks.
+# ---------------------------------------------------------------------------
+
+class TestCampaignResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign(tiny_spec(), engine=fresh_engine())
+
+    def test_results_align_with_points(self, result):
+        assert len(result.results) == len(result.points)
+        for point, sim in result:
+            assert sim.workload == point["workload"]
+
+    def test_lookup_single_point(self, result):
+        sim = result.lookup(predictor="vtage", workload="gzip")
+        assert sim.workload == "gzip"
+        assert sim.predictor != "none"
+
+    def test_lookup_rejects_ambiguity_and_misses(self, result):
+        with pytest.raises(KeyError, match="distinct jobs"):
+            result.lookup(workload="gzip")
+        with pytest.raises(KeyError, match="no campaign point"):
+            result.lookup(predictor="fcm")
+
+    def test_by_pivots_in_order(self, result):
+        by_workload = result.by("workload", predictor="lvp")
+        assert list(by_workload) == ["gzip", "crafty"]
+
+    def test_speedup_by_workload(self, result):
+        speedups = result.speedup_by_workload(predictor="vtage")
+        assert set(speedups) == {"gzip", "crafty"}
+        for value in speedups.values():
+            assert value > 0.0
+
+    def test_progress_events_cover_every_job(self):
+        events = []
+        run_campaign(tiny_spec(), engine=fresh_engine(),
+                     progress=events.append)
+        assert [e.done for e in events] == list(range(1, 7))
+        assert {e.source for e in events} == {"engine"}
+        assert events[-1].total == 6
+
+    def test_speedup_requires_baselines(self):
+        spec = CampaignSpec.make(
+            "no-base", {"predictor": ["lvp"], "workload": ["gzip"]},
+            base=TINY,
+        )
+        result = run_campaign(spec, engine=fresh_engine())
+        with pytest.raises(KeyError, match="baseline"):
+            result.speedup_by_workload(predictor="lvp")
+
+    def test_chunk_size_must_be_positive(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="chunk_size"):
+                run_campaign(tiny_spec(), engine=fresh_engine(),
+                             chunk_size=bad)
+
+    def test_unjournaled_run_is_one_batch(self, monkeypatch):
+        """Without a journal there is nothing to checkpoint, so the whole
+        remainder must go to the executor as a single batch (one pool
+        spin-up, full parallelism)."""
+        engine = fresh_engine()
+        batches = []
+        original = engine.run_jobs
+
+        def spy(jobs):
+            batches.append(len(jobs))
+            return original(jobs)
+
+        monkeypatch.setattr(engine, "run_jobs", spy)
+        run_campaign(tiny_spec(), engine=engine)
+        assert batches == [6]
+
+
+# ---------------------------------------------------------------------------
+# The cache/journal identity contract (ISSUE 3 satellite fix).
+# ---------------------------------------------------------------------------
+
+class TestCacheJournalAccord:
+    def test_cache_hit_still_lands_in_journal(self, tmp_path):
+        """A warm result cache must not leave holes in a fresh journal."""
+        engine = fresh_engine()
+        spec = tiny_spec()
+
+        job_mod.reset_run_count()
+        run_campaign(spec, engine=engine, journal=tmp_path / "first.jsonl")
+        assert job_mod.run_count() == 6
+
+        # Same engine (warm cache), brand-new journal: every job is a
+        # cache hit, and every job must still be journaled.
+        job_mod.reset_run_count()
+        result = run_campaign(spec, engine=engine,
+                              journal=tmp_path / "second.jsonl")
+        assert job_mod.run_count() == 0
+        assert result.stats["executed"] == 6
+        assert result.stats["cache_hits"] == 6
+
+        first = CampaignJournal(tmp_path / "first.jsonl")
+        second = CampaignJournal(tmp_path / "second.jsonl")
+        assert set(first.entries) == set(second.entries)
+        assert len(second.entries) == 6
+        for key, sim in first.entries.items():
+            assert second.entries[key].to_dict() == sim.to_dict()
+
+    def test_journal_and_cache_share_job_identity(self, tmp_path):
+        engine = fresh_engine()
+        spec = tiny_spec()
+        run_campaign(spec, engine=engine, journal=tmp_path / "c.jsonl")
+        journal = CampaignJournal(tmp_path / "c.jsonl")
+        for key, sim_job in spec.unique_jobs().items():
+            # The journal key is exactly the cache key...
+            assert key in journal.entries
+            # ...and the cached result equals the journaled one.
+            assert engine.cache.get(sim_job).to_dict() == \
+                journal.entries[key].to_dict()
+
+    def test_replay_warms_the_cache(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, engine=fresh_engine(),
+                     journal=tmp_path / "warm.jsonl")
+        cold_engine = fresh_engine()
+        job_mod.reset_run_count()
+        run_campaign(spec, engine=cold_engine,
+                     journal=tmp_path / "warm.jsonl")
+        assert job_mod.run_count() == 0
+        for sim_job in spec.unique_jobs().values():
+            assert cold_engine.cache.get(sim_job) is not None

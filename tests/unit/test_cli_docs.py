@@ -1,0 +1,51 @@
+"""docs/cli.md is generated: drift fails here and in the CI check step."""
+
+from pathlib import Path
+
+from repro import docs
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestGenerated:
+    def test_docs_cli_md_is_up_to_date(self):
+        """`python -m repro.docs` output must match the checked-in file."""
+        on_disk = (REPO_ROOT / "docs" / "cli.md").read_text()
+        assert on_disk == docs.generate(), (
+            "docs/cli.md drifted from the argparse trees; regenerate with "
+            "`PYTHONPATH=src python -m repro.docs`"
+        )
+
+    def test_check_mode_matches_assertion(self, capsys):
+        assert docs.main(["--check"]) == 0
+
+    def test_check_mode_fails_on_drift(self, tmp_path, capsys):
+        stale = tmp_path / "cli.md"
+        stale.write_text("# stale\n")
+        assert docs.main(["--check", "--output", str(stale)]) == 1
+
+
+class TestCoverage:
+    def test_reference_covers_every_subcommand(self):
+        rendered = docs.generate()
+        for heading in (
+            "## `repro`",
+            "### `repro run`",
+            "### `repro table`",
+            "### `repro figure`",
+            "### `repro campaign`",
+            "#### `repro campaign run`",
+            "#### `repro campaign resume`",
+            "#### `repro campaign status`",
+            "#### `repro campaign list`",
+            "### `repro cache`",
+            "### `repro list`",
+            "## `python -m repro.experiments.reproduce`",
+        ):
+            assert heading in rendered, heading
+
+    def test_reference_mentions_the_knobs(self):
+        rendered = docs.generate()
+        for token in ("REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_CHECKPOINT_DIR",
+                      "--checkpoint-dir", "--force", "--render"):
+            assert token in rendered, token
