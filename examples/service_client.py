@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Scenario: one simulation daemon, two clients, one shared hot cache.
+
+Starts a ``repro serve`` daemon on a private socket, then plays two
+clients submitting *overlapping* predictor grids concurrently — the
+situation the service layer exists for.  The daemon deduplicates across
+clients: every unique job simulates exactly once, the second client's
+overlap is answered from the shared cache or attached to in-flight work,
+and both clients get results bit-identical to an in-process
+``run_jobs`` call (asserted at the end).
+
+Usage::
+
+    python examples/service_client.py [n_uops] [workers]
+
+    # bigger slice, 4 service workers:
+    python examples/service_client.py 24000 4
+
+Expected output: client A executes its whole grid; client B — submitted
+concurrently, sharing three of its four workloads — reports most of its
+jobs as cache hits/coalesced rather than newly enqueued, and the
+daemon's lifetime counters show fewer simulations executed than jobs
+submitted.  See docs/architecture.md for the data-flow picture.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.engine.client import ServiceClient, wait_for_service
+from repro.engine.executors import SerialExecutor
+from repro.engine.job import SimJob
+
+#: Client A sweeps these workloads; client B overlaps on all but one.
+WORKLOADS_A = ("gzip", "gcc", "wupwise", "applu")
+WORKLOADS_B = ("gcc", "wupwise", "applu", "crafty")
+PREDICTORS = ("lvp", "2dstride")
+
+
+def grid(workloads, n_uops: int) -> list[SimJob]:
+    """The predictors × workloads job grid one client submits."""
+    return [SimJob.make(w, p, n_uops=n_uops, warmup=n_uops // 2)
+            for p in PREDICTORS for w in workloads]
+
+
+def main(n_uops: int = 4000, workers: int = 2,
+         socket_path: str | None = None) -> int:
+    """Run the whole scenario; returns a process exit code."""
+    own_daemon = socket_path is None
+    if own_daemon:
+        socket_path = os.path.join(tempfile.mkdtemp(prefix="repro-svc-"),
+                                   "service.sock")
+        # --cache-dir "" forces a memory-only cache: the executed-counts
+        # asserted below must not be satisfied by a warm REPRO_CACHE_DIR.
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "-j", str(workers),
+             "--cache-dir", "", "serve", "--socket", socket_path],
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(
+                     p for p in ("src", os.environ.get("PYTHONPATH", ""))
+                     if p)},
+        )
+    wait_for_service(socket_path, timeout=30)
+
+    responses: dict[str, dict] = {}
+
+    def client(name: str, workloads) -> None:
+        with ServiceClient(socket_path) as conn:
+            responses[name] = conn.submit(grid(workloads, n_uops))
+
+    # Two concurrent clients, overlapping grids.
+    threads = [threading.Thread(target=client, args=("A", WORKLOADS_A)),
+               threading.Thread(target=client, args=("B", WORKLOADS_B))]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    unique = {job.content_key() for w in (WORKLOADS_A, WORKLOADS_B)
+              for job in grid(w, n_uops)}
+    for name, workloads in (("A", WORKLOADS_A), ("B", WORKLOADS_B)):
+        summary = responses[name]["summary"]
+        print(f"client {name}: {summary['jobs']} jobs — "
+              f"{summary['enqueued']} enqueued, "
+              f"{summary['cache_hits']} cache hits, "
+              f"{summary['coalesced']} coalesced with in-flight work")
+
+    with ServiceClient(socket_path) as conn:
+        stats = conn.status()["queue"]["stats"]
+        print(f"daemon: {stats['submitted']} jobs submitted, "
+              f"{stats['executed']} simulations executed "
+              f"({len(unique)} unique specs) in {elapsed:.2f}s")
+        shared = stats["submitted"] - stats["executed"]
+        print(f"cross-client sharing saved {shared} simulation(s)")
+
+        # Bit-identity: the daemon's results equal an in-process run.
+        local = {job.content_key(): result for job, result in zip(
+            grid(WORKLOADS_A, n_uops),
+            SerialExecutor().run(grid(WORKLOADS_A, n_uops)))}
+        from repro.pipeline.result import SimResult
+        remote = [SimResult.from_dict(raw)
+                  for raw in responses["A"]["results"]]
+        assert all(
+            remote[i].to_dict() == local[job.content_key()].to_dict()
+            for i, job in enumerate(grid(WORKLOADS_A, n_uops))
+        ), "service results diverged from the in-process engine"
+        print("service results are bit-identical to in-process run_jobs")
+
+        if own_daemon:
+            conn.shutdown()
+    if own_daemon:
+        daemon.wait(timeout=15)
+    assert stats["executed"] == len(unique), \
+        "expected exactly one execution per unique job spec"
+    return 0
+
+
+if __name__ == "__main__":
+    n_uops = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    raise SystemExit(main(n_uops, workers))

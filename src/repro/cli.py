@@ -12,14 +12,24 @@ Usage examples::
     python -m repro.cli cache clear
     python -m repro.cli list
 
+    # The service: one daemon, many clients, one shared hot cache.
+    python -m repro.cli -j 4 serve --socket /tmp/repro.sock --journal svc.jsonl
+    python -m repro.cli submit --workloads gcc,gzip --predictors lvp,vtage \
+        --socket /tmp/repro.sock
+    python -m repro.cli status --socket /tmp/repro.sock
+    python -m repro.cli campaign run fig4 --backend service --socket /tmp/repro.sock
+
 All simulations go through the experiment engine: ``--jobs/-j`` (or the
 ``REPRO_JOBS`` environment variable) selects how many worker processes run
 the job batches, and ``REPRO_CACHE_DIR`` (or ``--cache-dir``) enables the
 persistent result cache that ``cache show``/``cache clear`` manage.
 ``campaign`` commands execute whole declarative sweeps with an on-disk
 journal (``--checkpoint-dir`` or ``REPRO_CHECKPOINT_DIR``): a killed run
-resumes from the journal with a bit-identical result set.  Results are
-bit-identical whatever the parallelism, cache or checkpoint state.
+resumes from the journal with a bit-identical result set.  ``serve``
+turns the same engine into a persistent daemon: ``submit``/``status``/
+``results`` talk to it over a Unix socket, and ``campaign run --backend
+service`` routes whole sweeps through it.  Results are bit-identical
+whatever the parallelism, cache, checkpoint or backend.
 
 The full reference lives in ``docs/cli.md``, regenerated from these
 parsers by ``python -m repro.docs`` (CI fails on drift).
@@ -31,16 +41,29 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.engine.api import configure_default_engine, default_engine
+from repro.engine.api import (
+    configure_default_engine,
+    default_engine,
+    set_default_engine,
+)
 from repro.engine.cache import CACHE_DIR_ENV
-from repro.engine.campaign import progress_printer, run_campaign
+from repro.engine.campaign import (
+    BACKENDS,
+    engine_for_backend,
+    progress_printer,
+    run_campaign,
+)
 from repro.engine.checkpoint import (
     CHECKPOINT_DIR_ENV,
     CampaignJournal,
     JournalError,
     default_checkpoint_dir,
 )
+from repro.engine.client import ServiceClient, ServiceError
 from repro.engine.executors import JOBS_ENV
+from repro.engine.job import SimJob
+from repro.engine.service import SOCKET_ENV, run_service
+from repro.pipeline.result import SimResult
 from repro.experiments import figures, tables
 from repro.experiments.campaigns import CAMPAIGNS
 from repro.experiments.runner import (
@@ -198,10 +221,21 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             raise SystemExit(f"nothing to resume: no journal at {journal}")
 
     try:
-        result = run_campaign(spec, journal=journal, chunk_size=args.chunk,
+        engine = engine_for_backend(args.backend, args.socket)
+        if args.backend != "local":
+            if args.jobs is not None or args.cache_dir is not None:
+                print("note: --jobs/--cache-dir apply to the daemon, not "
+                      "this client; they are ignored with --backend "
+                      "service", file=sys.stderr)
+            # --render replays through the default engine's cache; make
+            # the service-backed engine that default so rendering never
+            # re-simulates locally what the daemon already ran.
+            set_default_engine(engine)
+        result = run_campaign(spec, engine=engine, journal=journal,
+                              chunk_size=args.chunk,
                               progress=progress_printer(spec.name),
                               force=args.force)
-    except JournalError as exc:
+    except (JournalError, ServiceError) as exc:
         raise SystemExit(f"error: {exc}") from None
     stats = result.stats
     print(file=sys.stderr)
@@ -214,6 +248,118 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.render and definition.render is not None:
         print()
         print(definition.render(result))
+    return 0
+
+
+def _parse_predictors(raw: str | None) -> tuple[str, ...]:
+    """Comma-separated predictor configuration names."""
+    names = tuple(name.strip() for name in (raw or "").split(",")
+                  if name.strip())
+    if not names:
+        raise SystemExit(f"--predictors got no predictor names: {raw!r}")
+    unknown = [n for n in names if n not in PREDICTOR_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown predictors: {', '.join(unknown)} "
+                         f"(pick from {', '.join(PREDICTOR_NAMES)})")
+    return names
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    # main() already resolved --jobs/--cache-dir into the default engine;
+    # the daemon serves from that engine's cache.
+    return run_service(
+        args.socket,
+        workers=args.jobs,
+        cache=default_engine().cache,
+        journal_path=args.journal,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    workloads = _parse_workloads(args.workloads)
+    if workloads is None:
+        raise SystemExit("submit needs --workloads")
+    predictors = _parse_predictors(args.predictors)
+    jobs = [
+        SimJob.make(workload, predictor, fpc=not args.no_fpc,
+                    recovery=args.recovery, n_uops=args.uops,
+                    warmup=args.warmup)
+        for predictor in predictors
+        for workload in workloads
+    ]
+    try:
+        with ServiceClient(args.socket) as client:
+            response = client.submit(jobs, wait=not args.no_wait)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    summary = response["summary"]
+    print(f"submitted {summary['jobs']} job(s): "
+          f"{summary['cache_hits']} answered by the service cache, "
+          f"{summary['coalesced']} coalesced with in-flight work, "
+          f"{summary['enqueued']} newly enqueued "
+          f"(ticket {response['ticket']})")
+    if args.no_wait:
+        where = f" --socket {args.socket}" if args.socket else ""
+        print(f"poll with: repro results {response['ticket']}{where}")
+        return 0
+    for raw in response["results"]:
+        print(SimResult.from_dict(raw).summary_line())
+    return 0
+
+
+def cmd_service_status(args: argparse.Namespace) -> int:
+    try:
+        with ServiceClient(args.socket) as client:
+            server = client.ping()
+            status = client.status()
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    queue = status["queue"]
+    stats = queue["stats"]
+    print(f"service: pid {server['pid']} on {server['socket']} "
+          f"(protocol v{server['protocol']})")
+    print(f"workers ({len(queue['workers'])}):")
+    for worker in queue["workers"]:
+        state = worker["task"] or ("idle" if worker["alive"] else "dead")
+        print(f"  #{worker['id']} pid {worker['pid']}: {state}")
+    print(f"queue: {queue['depth']} outstanding job(s) "
+          f"({queue['pending']} waiting for a worker), "
+          f"{queue['restarts']} worker restart(s)")
+    print(f"lifetime: {stats['submitted']} submitted = "
+          f"{stats['cache_hits']} cache hits + "
+          f"{stats['coalesced']} coalesced + "
+          f"{stats['executed']} executed; "
+          f"{stats['requeued']} requeued, {stats['errors']} error(s)")
+    cache = status["cache"]
+    where = cache["directory"] or "memory-only"
+    print(f"cache: {where} — {cache['memory_entries']} in memory, "
+          f"{cache['disk_entries']} on disk")
+    journal = status["journal"]
+    if journal["path"]:
+        print(f"journal: {journal['path']} — {journal['entries']} entries "
+              f"({journal['replayed']} replayed at startup)")
+    else:
+        print("journal: disabled (start the service with --journal)")
+    if status["tickets"]:
+        print("open tickets:")
+        for ticket_id, ticket in sorted(status["tickets"].items(),
+                                        key=lambda kv: int(kv[0])):
+            print(f"  #{ticket_id}: {ticket['done']}/{ticket['jobs']} done")
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    try:
+        with ServiceClient(args.socket) as client:
+            response = client.results(args.ticket)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if response.get("pending"):
+        print(f"ticket {args.ticket}: {response['done']}/{response['total']} "
+              "job(s) done — still running")
+        return 1
+    for raw in response["results"]:
+        print(SimResult.from_dict(raw).summary_line())
     return 0
 
 
@@ -316,6 +462,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "different job set and start over")
         p.add_argument("--render", action="store_true",
                        help="print the campaign's figure/table after the run")
+        p.add_argument("--backend", default="local", choices=BACKENDS,
+                       help="where job batches execute: in this process "
+                            "('local') or on a running `repro serve` "
+                            "daemon ('service')")
+        p.add_argument("--socket", default=None, metavar="PATH",
+                       help="service socket for --backend service "
+                            f"(default: ${SOCKET_ENV} or "
+                            "./repro-service.sock)")
 
     campaign_run_p = campaign_sub.add_parser(
         "run", help="execute a campaign (resumes automatically if a "
@@ -341,6 +495,78 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_list_p = campaign_sub.add_parser(
         "list", help="list registered campaigns")
     campaign_list_p.set_defaults(fn=cmd_campaign)
+
+    def _socket_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--socket", default=None, metavar="PATH",
+                       help="Unix socket of the service "
+                            f"(default: ${SOCKET_ENV} or "
+                            "./repro-service.sock)")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the persistent simulation service daemon",
+        description="Start a long-lived daemon that owns the result cache "
+                    "and an optional completion journal, and serves "
+                    "simulation jobs to any number of concurrent clients "
+                    "over a Unix socket.  Jobs are deduplicated across "
+                    "clients and run on a persistent -j/--jobs worker "
+                    "pool; a worker killed mid-job is replaced and its "
+                    "job requeued, and with --journal a restarted daemon "
+                    "replays every completed job into its cache.",
+    )
+    _socket_arg(serve_p)
+    serve_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="append every completed job to this JSONL "
+                              "journal and replay it on restart")
+    serve_p.set_defaults(fn=cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a job grid to a running service",
+        description="Build a predictors x workloads job grid and submit "
+                    "it to a `repro serve` daemon.  By default the "
+                    "command waits and prints one summary line per "
+                    "result; with --no-wait it prints a ticket to poll "
+                    "via `repro results`.",
+    )
+    submit_p.add_argument("--workloads", required=True,
+                          help="comma-separated workloads (catalog or "
+                               "scenario-c*-e*-l* names)")
+    submit_p.add_argument("--predictors", default="vtage-2dstride",
+                          help="comma-separated predictor configurations "
+                               "(see 'repro list')")
+    submit_p.add_argument("--recovery", default="squash",
+                          choices=("squash", "reissue"))
+    submit_p.add_argument("--no-fpc", action="store_true",
+                          help="use plain 3-bit confidence counters")
+    submit_p.add_argument("--uops", type=int, default=DEFAULT_MEASURE)
+    submit_p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    submit_p.add_argument("--no-wait", action="store_true",
+                          help="return a ticket immediately instead of "
+                               "waiting for results")
+    _socket_arg(submit_p)
+    submit_p.set_defaults(fn=cmd_submit)
+
+    status_p = sub.add_parser(
+        "status",
+        help="show a running service's workers, queue and cache",
+    )
+    _socket_arg(status_p)
+    status_p.set_defaults(fn=cmd_service_status)
+
+    results_p = sub.add_parser(
+        "results",
+        help="fetch the results of a --no-wait submission ticket",
+        description="Fetch a ticket's results from a running service.  "
+                    "Exits 1 (after printing progress) while jobs are "
+                    "still running, 0 with one summary line per result "
+                    "once the batch is complete.  Completed tickets stay "
+                    "fetchable until the daemon evicts old ones.",
+    )
+    results_p.add_argument("ticket", type=int, help="ticket id printed by "
+                           "`repro submit --no-wait`")
+    _socket_arg(results_p)
+    results_p.set_defaults(fn=cmd_results)
 
     cache_p = sub.add_parser(
         "cache",

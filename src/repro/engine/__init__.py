@@ -14,6 +14,7 @@ from repro.engine.api import (
     run_grid,
     run_job,
     run_jobs,
+    set_default_engine,
 )
 from repro.engine.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from repro.engine.campaign import (
@@ -21,9 +22,18 @@ from repro.engine.campaign import (
     CampaignEvent,
     CampaignResult,
     CampaignSpec,
+    engine_for_backend,
     run_campaign,
 )
 from repro.engine.checkpoint import CampaignJournal, JournalError, JournalHeader
+from repro.engine.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceExecutor,
+    service_engine,
+    service_running,
+    wait_for_service,
+)
 from repro.engine.executors import (
     JOBS_ENV,
     PoolExecutor,
@@ -39,6 +49,8 @@ from repro.engine.job import (
     reset_run_count,
     run_count,
 )
+from repro.engine.queue import JobFailed, JobQueue, QueueStats, WorkerPool
+from repro.engine.service import SOCKET_ENV, SimService, run_service
 
 __all__ = [
     "AxisBlock",
@@ -50,16 +62,26 @@ __all__ = [
     "DEFAULT_MEASURE",
     "DEFAULT_WARMUP",
     "Engine",
+    "JobFailed",
+    "JobQueue",
     "JournalError",
     "JournalHeader",
     "JOBS_ENV",
     "PoolExecutor",
+    "QueueStats",
     "ResultCache",
+    "SOCKET_ENV",
     "SerialExecutor",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceExecutor",
     "SimJob",
+    "SimService",
+    "WorkerPool",
     "configure_default_engine",
     "default_cache_dir",
     "default_engine",
+    "engine_for_backend",
     "execute_job",
     "make_executor",
     "reset_default_engine",
@@ -68,6 +90,11 @@ __all__ = [
     "run_campaign",
     "run_count",
     "run_grid",
+    "run_service",
+    "service_engine",
+    "set_default_engine",
+    "service_running",
+    "wait_for_service",
     "run_job",
     "run_jobs",
 ]

@@ -139,6 +139,20 @@ def configure_default_engine(
     return _DEFAULT_ENGINE
 
 
+def set_default_engine(engine: Engine) -> Engine:
+    """Install *engine* as the process-wide default and return it.
+
+    For drivers that build a non-standard engine — e.g. the reproduce
+    driver with ``--backend service``, whose batches must go to a daemon
+    *and* whose figure renderers replay from the same engine's cache —
+    so that every ``run_jobs(..., engine=None)`` call downstream shares
+    it.
+    """
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return engine
+
+
 def reset_default_engine() -> None:
     """Drop the default engine (next use rebuilds from the environment)."""
     global _DEFAULT_ENGINE
@@ -146,10 +160,12 @@ def reset_default_engine() -> None:
 
 
 def run_jobs(jobs: Sequence[SimJob], engine: Engine | None = None) -> list[SimResult]:
+    """Run a batch on *engine* (default: the process-wide engine)."""
     return (engine or default_engine()).run_jobs(jobs)
 
 
 def run_job(job: SimJob, engine: Engine | None = None) -> SimResult:
+    """Run one job on *engine* (default: the process-wide engine)."""
     return (engine or default_engine()).run_job(job)
 
 
@@ -165,6 +181,7 @@ def run_grid(
     config: CoreConfig | None = None,
     engine: Engine | None = None,
 ) -> dict[tuple[str, str], SimResult]:
+    """Sweep predictors × workloads on *engine* (default: process-wide)."""
     return (engine or default_engine()).run_grid(
         predictors, workloads, n_uops=n_uops, warmup=warmup, fpc=fpc,
         recovery=recovery, entries=entries, config=config,

@@ -93,6 +93,15 @@ class ResultCache:
         """
         self._memory[job.content_key()] = result
 
+    def seed(self, key: str, result: SimResult) -> None:
+        """Insert a result under a precomputed content key (memory only).
+
+        For journal replay, where the key was persisted alongside the
+        result and recomputing it would need a materialised job.  An
+        existing entry wins: the cache's copy is never downgraded.
+        """
+        self._memory.setdefault(key, result)
+
     def put(self, job: SimJob, result: SimResult) -> None:
         key = job.content_key()
         self._memory[key] = result

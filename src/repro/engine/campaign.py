@@ -256,6 +256,33 @@ def _digest_job_keys(keys: Iterable[str]) -> str:
 # Execution.
 # ---------------------------------------------------------------------------
 
+#: Campaign execution backends ``engine_for_backend`` understands.
+BACKENDS = ("local", "service")
+
+
+def engine_for_backend(
+    backend: str = "local",
+    socket_path: str | Path | None = None,
+) -> Engine:
+    """Resolve a campaign execution backend name to an :class:`Engine`.
+
+    ``local`` is the in-process default engine (serial or pool, per
+    ``REPRO_JOBS``); ``service`` targets a running ``repro serve`` daemon
+    at *socket_path* — batches travel over the socket, and overlapping
+    campaigns from concurrent clients share the daemon's hot cache and
+    in-flight dedupe.  Campaign journals stay client-side either way, so
+    ``campaign resume`` semantics are identical across backends.
+    """
+    if backend == "local":
+        return default_engine()
+    if backend == "service":
+        from repro.engine.client import service_engine
+
+        return service_engine(socket_path)
+    raise ValueError(
+        f"unknown campaign backend {backend!r}; pick one of {BACKENDS}"
+    )
+
 
 @dataclass(frozen=True)
 class CampaignEvent:

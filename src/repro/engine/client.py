@@ -1,0 +1,225 @@
+"""Client side of the simulation service protocol.
+
+A :class:`ServiceClient` speaks the newline-JSON protocol of
+:mod:`repro.engine.service` over one persistent Unix-socket connection:
+``ping``/``status``/``submit``/``results``/``shutdown`` methods mirror
+the server ops one-to-one, and :meth:`ServiceClient.run_jobs` gives the
+engine-shaped "batch in, results in submission order out" call.
+
+Two adapters make the service a drop-in **backend** for existing code:
+
+* :class:`ServiceExecutor` quacks like the engine's executors (``run``,
+  ``jobs``, ``describe``), so an :class:`~repro.engine.api.Engine` built
+  on it routes every batch to the daemon;
+* :func:`service_engine` builds exactly that engine (with a memory-only
+  local cache), which is what ``repro campaign run --backend service``
+  uses — the campaign/checkpoint machinery is unchanged, only the
+  executor is remote.
+
+The client is deliberately synchronous (plain ``socket``): callers are
+CLI commands, tests and campaign loops, none of which run an event loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+
+from repro.engine.job import SimJob
+from repro.pipeline.result import SimResult
+
+
+class ServiceError(RuntimeError):
+    """The daemon rejected a request or the connection failed."""
+
+
+class ServiceClient:
+    """One connection to a running :class:`~repro.engine.service.SimService`.
+
+    Usable as a context manager; the connection opens lazily on first
+    request and pipelines any number of request/response rounds.
+    """
+
+    def __init__(self, socket_path: str | os.PathLike | None = None,
+                 timeout: float | None = None):
+        # Imported here, not at module top, to keep the client importable
+        # without dragging in the asyncio server machinery's dependencies.
+        from repro.engine.service import default_socket_path
+
+        self.socket_path = default_socket_path(socket_path)
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- connection ------------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(str(self.socket_path))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach the repro service at {self.socket_path} "
+                f"({exc}); is `repro serve` running?"
+            ) from None
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, payload: dict) -> dict:
+        """One protocol round; raises :class:`ServiceError` on failure."""
+        self.connect()
+        try:
+            self._file.write((json.dumps(payload) + "\n").encode())
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"service connection lost: {exc}") from None
+        if not line:
+            self.close()
+            raise ServiceError("service closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(f"bad response from service: {exc}") from None
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    # -- ops -------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Server identity: pid, protocol version, worker count.
+
+        Raises :class:`ServiceError` when the daemon speaks a different
+        protocol version — better one clean error here than mis-decoded
+        payloads later.
+        """
+        from repro.engine.service import PROTOCOL_VERSION
+
+        server = self.request({"op": "ping"})["server"]
+        if server.get("protocol") != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"service at {self.socket_path} speaks protocol "
+                f"v{server.get('protocol')}, this client v{PROTOCOL_VERSION}; "
+                "upgrade the older side"
+            )
+        return server
+
+    def status(self) -> dict:
+        """Queue / cache / journal / ticket status snapshot."""
+        return self.request({"op": "status"})
+
+    def submit(self, jobs: list[SimJob], *, wait: bool = True) -> dict:
+        """Submit a batch; the raw response (``results`` when *wait*)."""
+        return self.request({
+            "op": "submit",
+            "jobs": [job.to_dict() for job in jobs],
+            "wait": wait,
+        })
+
+    def results(self, ticket: int) -> dict:
+        """Poll a ticket from a ``wait=False`` submission."""
+        return self.request({"op": "results", "ticket": ticket})
+
+    def shutdown(self) -> None:
+        """Ask the daemon to exit (acknowledged before it stops)."""
+        self.request({"op": "shutdown"})
+
+    def run_jobs(self, jobs: list[SimJob]) -> list[SimResult]:
+        """Submit, wait, and decode: the engine-shaped batch call."""
+        response = self.submit(jobs, wait=True)
+        return [SimResult.from_dict(raw) for raw in response["results"]]
+
+
+def service_running(socket_path: str | os.PathLike | None = None) -> bool:
+    """True when a daemon answers ``ping`` on *socket_path*."""
+    try:
+        with ServiceClient(socket_path, timeout=1.0) as client:
+            client.ping()
+        return True
+    except ServiceError:
+        return False
+
+
+def wait_for_service(socket_path: str | os.PathLike | None = None,
+                     timeout: float = 10.0) -> None:
+    """Block until a daemon answers ``ping`` (for launchers and tests)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        if service_running(socket_path):
+            return
+        if time.monotonic() >= deadline:
+            raise ServiceError(
+                f"no repro service appeared at "
+                f"{Path(socket_path) if socket_path else 'the default socket'} "
+                f"within {timeout:.0f}s"
+            )
+        time.sleep(0.05)
+
+
+class ServiceExecutor:
+    """Executor backend that ships batches to a running daemon.
+
+    Mirrors the :class:`~repro.engine.executors.SerialExecutor` /
+    :class:`~repro.engine.executors.PoolExecutor` interface (``run``,
+    ``jobs``, ``describe``) so it can sit inside an ordinary
+    :class:`~repro.engine.api.Engine`.  ``jobs`` reports the *daemon's*
+    worker count — campaign chunk sizing then matches the real pool.
+    """
+
+    def __init__(self, client: ServiceClient):
+        self.client = client
+        self.jobs = int(client.ping().get("workers", 1))
+
+    def run(self, jobs: list[SimJob]) -> list[SimResult]:
+        if not jobs:
+            return []
+        return self.client.run_jobs(jobs)
+
+    def describe(self) -> str:
+        return f"service({self.client.socket_path})"
+
+
+def service_engine(socket_path: str | os.PathLike | None = None,
+                   timeout: float | None = None):
+    """An :class:`~repro.engine.api.Engine` whose batches run on a daemon.
+
+    The local cache is memory-only: persistence and cross-client sharing
+    live server-side, while the local layer still short-circuits repeat
+    lookups (figure rendering, campaign journal replay) without a socket
+    round trip.
+    """
+    from repro.engine.api import Engine
+    from repro.engine.cache import ResultCache
+
+    client = ServiceClient(socket_path, timeout=timeout)
+    return Engine(executor=ServiceExecutor(client), cache=ResultCache(None))

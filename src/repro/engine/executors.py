@@ -23,6 +23,11 @@ from repro.pipeline.result import SimResult
 #: Environment variable selecting the default parallelism.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Upper clamp for the worker count: a typo'd ``REPRO_JOBS=1000000`` must
+#: not fork a million processes.  Far above any sane machine, far below
+#: any fork bomb.
+MAX_JOBS = 512
+
 
 class SerialExecutor:
     """Run jobs one after the other in the current process."""
@@ -73,19 +78,41 @@ class PoolExecutor:
         return f"pool({self.jobs})"
 
 
+def _coerce_jobs(value) -> int | None:
+    """Best-effort integer coercion; ``None`` when the value is unusable.
+
+    Accepts ints, numeric strings and float spellings (``"4.0"``) —
+    environment variables arrive as text from shells, Makefiles and CI
+    matrices, and a sloppy spelling should degrade, not crash.
+    """
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        pass
+    try:
+        return int(float(value))
+    except (TypeError, ValueError, OverflowError):
+        return None
+
+
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Pick the parallelism: explicit value wins, then ``REPRO_JOBS``."""
-    if jobs is not None:
-        return max(1, int(jobs))
-    raw = os.environ.get(JOBS_ENV, "").strip()
-    if raw:
-        try:
-            return max(1, int(raw))
-        except ValueError:
-            pass
+    """Pick the parallelism: explicit value wins, then ``REPRO_JOBS``.
+
+    Bad values clamp instead of crashing: non-numeric input falls
+    through (explicit → environment → 1), values below 1 clamp to 1
+    (serial), and anything above :data:`MAX_JOBS` clamps to
+    :data:`MAX_JOBS`.
+    """
+    for candidate in (jobs, os.environ.get(JOBS_ENV, "").strip() or None):
+        if candidate is None:
+            continue
+        n = _coerce_jobs(candidate)
+        if n is not None:
+            return min(MAX_JOBS, max(1, n))
     return 1
 
 
 def make_executor(jobs: int | None = None) -> SerialExecutor | PoolExecutor:
+    """Build the executor :func:`resolve_jobs` selects for *jobs*."""
     n = resolve_jobs(jobs)
     return SerialExecutor() if n <= 1 else PoolExecutor(n)

@@ -133,10 +133,12 @@ _RUN_COUNT = 0
 
 
 def run_count() -> int:
+    """Simulations executed in this process so far (cache misses only)."""
     return _RUN_COUNT
 
 
 def reset_run_count() -> None:
+    """Zero :func:`run_count` (test isolation)."""
     global _RUN_COUNT
     _RUN_COUNT = 0
 

@@ -1,0 +1,436 @@
+"""Asynchronous job queue on a persistent worker pool (the service core).
+
+The batch engine (:mod:`repro.engine.api`) forks a fresh pool per
+``run_jobs`` call; a long-lived daemon cannot afford that, so this module
+provides the two pieces the service is built from:
+
+* a :class:`WorkerPool` of **persistent** worker processes, each with a
+  private task queue and exactly one in-flight job, so the parent always
+  knows which job a worker holds — when a worker dies (OOM, ``SIGKILL``,
+  a crashing job) its job is *requeued*, never lost, and a replacement
+  worker is spawned;
+* an asyncio :class:`JobQueue` that accepts :class:`~repro.engine.job.SimJob`
+  batches from any number of concurrent clients and **coalesces** them:
+  results already in the shared :class:`~repro.engine.cache.ResultCache`
+  resolve immediately, jobs spec-identical to one already in flight
+  attach to the same future (one simulation, many waiters), and only
+  genuinely new work reaches the pool.  Completed jobs are written to the
+  cache and, optionally, to a :class:`~repro.engine.checkpoint.CampaignJournal`
+  so a restarted daemon replays instead of re-simulating.
+
+Determinism makes all of this safe: a job spec fully determines its
+result, so re-executing a requeued job — even one whose first completion
+message raced the worker's death — is bit-identical, and duplicate
+completions are simply ignored.
+
+See DESIGN.md, "Service architecture" and docs/architecture.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import queue as stdlib_queue
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.engine.cache import ResultCache
+from repro.engine.checkpoint import CampaignJournal
+from repro.engine.job import SimJob, execute_job
+from repro.pipeline.result import SimResult
+
+#: Seconds between watchdog sweeps for dead workers.
+WATCHDOG_INTERVAL = 0.1
+
+#: Seconds the drain thread blocks on the result queue per poll.
+DRAIN_POLL = 0.2
+
+
+class JobFailed(RuntimeError):
+    """A worker reported an exception while executing a job."""
+
+
+class QueueClosed(RuntimeError):
+    """The queue was stopped while jobs were still outstanding."""
+
+
+def _mp_context():
+    """The ``spawn`` start method, unconditionally.
+
+    The batch :class:`~repro.engine.executors.PoolExecutor` prefers
+    ``fork`` (cheap, and its parent is single-threaded at fork time), but
+    this pool replaces dead workers from a parent that already runs the
+    drain thread and queue feeder threads — ``fork()`` from a
+    multi-threaded process is deadlock-prone and deprecated on Python
+    3.12+.  Workers are persistent, so the per-spawn interpreter cost is
+    paid once per worker lifetime, not per batch.
+    """
+    return multiprocessing.get_context("spawn")
+
+
+def _worker_main(worker_id: int, task_q, result_q) -> None:
+    """Worker process entry: execute jobs until the ``None`` sentinel.
+
+    Job exceptions are reported as ``error`` messages instead of killing
+    the worker — a malformed spec must not cost a pool slot.
+    """
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        task_id, job_dict = item
+        try:
+            payload = execute_job(SimJob.from_dict(job_dict)).to_dict()
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            result_q.put(("error", worker_id, task_id,
+                          f"{type(exc).__name__}: {exc}"))
+        else:
+            result_q.put(("done", worker_id, task_id, payload))
+
+
+class _Worker:
+    """One pool slot: a process, its private task queue, its in-flight job.
+
+    The private queue is what makes crash recovery exact: at most one
+    task is ever inside a worker, and the parent recorded it in
+    :attr:`current` before sending it, so a dead worker's job is known —
+    no shared-queue guessing about who picked up what.
+    """
+
+    def __init__(self, ctx, worker_id: int, result_q):
+        self.id = worker_id
+        self.task_q = ctx.Queue()
+        self.current: tuple[int, dict] | None = None
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.task_q, result_q),
+            daemon=True,
+        )
+        self.process.start()
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def assign(self, task_id: int, job_dict: dict) -> None:
+        assert self.current is None, "worker already holds a task"
+        self.current = (task_id, job_dict)
+        self.task_q.put((task_id, job_dict))
+
+    def describe(self) -> dict:
+        """Status row for the service ``status`` op."""
+        task = None
+        if self.current is not None:
+            task = SimJob.from_dict(self.current[1]).label()
+        return {"id": self.id, "pid": self.pid, "alive": self.alive(),
+                "task": task}
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent simulation worker processes.
+
+    Workers survive across batches (no per-run fork cost) and are
+    replaced transparently when they die; :meth:`reap_dead` returns the
+    orphaned in-flight tasks so the caller can requeue them.
+    """
+
+    def __init__(self, workers: int = 1):
+        self.size = max(1, int(workers))
+        self._ctx = _mp_context()
+        self.result_queue = self._ctx.Queue()
+        self._workers: list[_Worker] = []
+        self._next_id = 0
+        self.restarts = 0
+
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent)."""
+        while len(self._workers) < self.size:
+            self._workers.append(self._spawn())
+
+    def _spawn(self) -> _Worker:
+        worker = _Worker(self._ctx, self._next_id, self.result_queue)
+        self._next_id += 1
+        return worker
+
+    def worker(self, worker_id: int) -> _Worker | None:
+        for worker in self._workers:
+            if worker.id == worker_id:
+                return worker
+        return None
+
+    def idle_workers(self) -> list[_Worker]:
+        return [w for w in self._workers if w.current is None and w.alive()]
+
+    def worker_pids(self) -> list[int]:
+        return [w.pid for w in self._workers if w.pid is not None]
+
+    def reap_dead(self) -> list[tuple[int, dict]]:
+        """Replace dead workers; return the tasks they were holding.
+
+        Worker ids are never reused, so a completion message a worker
+        managed to send just before dying can still be attributed (and a
+        stale one can never be mistaken for the replacement's work).
+        """
+        orphaned: list[tuple[int, dict]] = []
+        for slot, worker in enumerate(self._workers):
+            if worker.alive():
+                continue
+            if worker.current is not None:
+                orphaned.append(worker.current)
+                worker.current = None
+            self._workers[slot] = self._spawn()
+            self.restarts += 1
+        return orphaned
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Shut every worker down (sentinel, then terminate stragglers)."""
+        for worker in self._workers:
+            try:
+                worker.task_q.put(None)
+            except (OSError, ValueError):  # queue already torn down
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=timeout)
+        self._workers.clear()
+
+    def describe(self) -> list[dict]:
+        return [worker.describe() for worker in self._workers]
+
+
+@dataclass
+class QueueStats:
+    """Lifetime counters of one :class:`JobQueue` (the ``status`` op body)."""
+
+    submitted: int = 0   # jobs received by submit()
+    cache_hits: int = 0  # answered straight from the shared result cache
+    coalesced: int = 0   # attached to a spec-identical in-flight job
+    executed: int = 0    # simulations actually run by the pool
+    errors: int = 0      # jobs a worker reported an exception for
+    requeued: int = 0    # jobs re-dispatched after their worker died
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "errors": self.errors,
+            "requeued": self.requeued,
+        }
+
+
+@dataclass
+class _Task:
+    """Parent-side record of one enqueued (not yet completed) job."""
+
+    job: SimJob
+    key: str
+    future: asyncio.Future = field(repr=False)
+
+
+class JobQueue:
+    """Asyncio front half of the service: dedupe, dispatch, recover.
+
+    One instance serves every client connection of a daemon.  All methods
+    except the drain thread's internals run on the owning event loop, so
+    no locking is needed: completions from worker processes are marshalled
+    onto the loop with ``call_soon_threadsafe``.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        cache: ResultCache | None = None,
+        journal: CampaignJournal | None = None,
+    ):
+        self.pool = pool
+        self.cache = cache if cache is not None else ResultCache(None)
+        self.journal = journal
+        self.stats = QueueStats()
+        self._tasks: dict[int, _Task] = {}
+        self._inflight: dict[str, int] = {}   # content key -> task id
+        self._pending: deque[int] = deque()
+        self._next_task = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._drain: threading.Thread | None = None
+        self._watchdog: asyncio.Task | None = None
+        self._stopping = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the pool, the result drain thread and the watchdog."""
+        self._loop = asyncio.get_running_loop()
+        self.pool.start()
+        self._drain = threading.Thread(target=self._drain_loop, daemon=True,
+                                       name="jobqueue-drain")
+        self._drain.start()
+        self._watchdog = asyncio.get_running_loop().create_task(self._watch())
+
+    async def stop(self) -> None:
+        """Stop the pool; outstanding futures fail with :class:`QueueClosed`."""
+        self._stopping = True
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            try:
+                await self._watchdog
+            except asyncio.CancelledError:
+                pass
+            self._watchdog = None
+        self.pool.stop()
+        if self._drain is not None:
+            self._drain.join(timeout=2 * DRAIN_POLL + 1.0)
+            self._drain = None
+        for task in self._tasks.values():
+            if not task.future.done():
+                task.future.set_exception(
+                    QueueClosed("job queue stopped before the job completed")
+                )
+        self._tasks.clear()
+        self._inflight.clear()
+        self._pending.clear()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, jobs: list[SimJob]) -> tuple[list[asyncio.Future], dict]:
+        """Enqueue a batch; returns one future per job, in submission order.
+
+        The summary dict says how this batch was satisfied — ``cache_hits``
+        (answered immediately), ``coalesced`` (attached to in-flight work,
+        possibly another client's), ``enqueued`` (new simulations) — which
+        is what the round-trip tests use to prove cross-client sharing.
+        """
+        assert self._loop is not None, "start() the queue before submitting"
+        futures: list[asyncio.Future] = []
+        summary = {"jobs": len(jobs), "cache_hits": 0, "coalesced": 0,
+                   "enqueued": 0}
+        for job in jobs:
+            self.stats.submitted += 1
+            cached = self.cache.get(job)
+            if cached is not None:
+                future = self._loop.create_future()
+                future.set_result(cached)
+                self.stats.cache_hits += 1
+                summary["cache_hits"] += 1
+                futures.append(future)
+                continue
+            key = job.content_key()
+            task_id = self._inflight.get(key)
+            if task_id is not None:
+                self.stats.coalesced += 1
+                summary["coalesced"] += 1
+                futures.append(self._tasks[task_id].future)
+                continue
+            task_id = self._next_task
+            self._next_task += 1
+            task = _Task(job=job, key=key, future=self._loop.create_future())
+            self._tasks[task_id] = task
+            self._inflight[key] = task_id
+            self._pending.append(task_id)
+            summary["enqueued"] += 1
+            futures.append(task.future)
+        self._feed()
+        return futures, summary
+
+    async def run_jobs(self, jobs: list[SimJob]) -> list[SimResult]:
+        """Submit and await one batch (results in submission order)."""
+        futures, _ = self.submit(jobs)
+        return list(await asyncio.gather(*futures))
+
+    @property
+    def depth(self) -> int:
+        """Jobs enqueued or in flight (not yet completed)."""
+        return len(self._tasks)
+
+    def describe(self) -> dict:
+        return {
+            "workers": self.pool.describe(),
+            "depth": self.depth,
+            "pending": len(self._pending),
+            "restarts": self.pool.restarts,
+            "stats": self.stats.to_dict(),
+        }
+
+    # -- dispatch / completion ------------------------------------------
+
+    def _feed(self) -> None:
+        """Hand pending tasks to idle workers (FIFO)."""
+        idle = self.pool.idle_workers()
+        while self._pending and idle:
+            task_id = self._pending.popleft()
+            task = self._tasks.get(task_id)
+            if task is None or task.future.done():
+                # Resolved while queued (stale completion after a requeue).
+                continue
+            idle.pop().assign(task_id, task.job.to_dict())
+
+    def _drain_loop(self) -> None:
+        """Forward worker completions onto the event loop (thread body)."""
+        while not self._stopping:
+            try:
+                message = self.pool.result_queue.get(timeout=DRAIN_POLL)
+            except stdlib_queue.Empty:
+                continue
+            except Exception:  # noqa: BLE001 - e.g. a torn pickle left by a
+                # worker killed mid-write; the watchdog requeues that
+                # worker's job, so the damaged message is droppable — but
+                # the drain thread itself must survive, or no completion
+                # would ever reach the loop again.
+                continue
+            try:
+                self._loop.call_soon_threadsafe(self._on_message, message)
+            except RuntimeError:  # loop already closed: shutting down
+                return
+
+    def _on_message(self, message: tuple) -> None:
+        # Runs on the event loop.  The cache/journal writes below are
+        # synchronous (the journal fsyncs) — a deliberate tradeoff: the
+        # write must be durable *before* the future resolves, and the
+        # rate is bounded by the worker pool (one small write per
+        # completed multi-millisecond simulation), so the loop stall is
+        # noise next to simulation time.
+        kind, worker_id, task_id, payload = message
+        worker = self.pool.worker(worker_id)
+        if worker is not None and worker.current is not None \
+                and worker.current[0] == task_id:
+            worker.current = None
+        task = self._tasks.pop(task_id, None)
+        if task is None:
+            # Duplicate completion: the job finished once on a worker that
+            # then died and once more after the requeue.  Determinism makes
+            # the copies identical; drop the straggler.
+            self._feed()
+            return
+        self._inflight.pop(task.key, None)
+        if kind == "done":
+            result = SimResult.from_dict(payload)
+            self.cache.put(task.job, result)
+            if self.journal is not None:
+                self.journal.record(task.job, result)
+            self.stats.executed += 1
+            if not task.future.done():
+                task.future.set_result(result)
+        else:
+            self.stats.errors += 1
+            if not task.future.done():
+                task.future.set_exception(JobFailed(payload))
+        self._feed()
+
+    async def _watch(self) -> None:
+        """Requeue jobs orphaned by worker deaths; spawn replacements."""
+        while True:
+            await asyncio.sleep(WATCHDOG_INTERVAL)
+            orphaned = self.pool.reap_dead()
+            for task_id, _job_dict in orphaned:
+                if task_id in self._tasks:
+                    self.stats.requeued += 1
+                    self._pending.appendleft(task_id)
+            if orphaned:
+                self._feed()

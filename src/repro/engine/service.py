@@ -1,0 +1,405 @@
+"""The simulation service daemon: one cache, one journal, many clients.
+
+``repro serve`` runs a :class:`SimService`: a persistent process that
+owns the result cache and a crash-safe completion journal, listens on a
+Unix-domain socket, and feeds every client's jobs through one
+:class:`~repro.engine.queue.JobQueue` on a persistent
+:class:`~repro.engine.queue.WorkerPool`.  Because all clients share the
+daemon's cache *and* its in-flight job set, overlapping submissions from
+concurrent clients simulate each unique spec exactly once — the
+"shared hot cache" serving story the ROADMAP asks for.
+
+Protocol: newline-delimited JSON request/response over the socket.  One
+request per line, one response line per request, connections may pipeline
+many requests.  Requests are ``{"op": <name>, ...}``; responses are
+``{"ok": true, ...}`` or ``{"ok": false, "error": <message>}``.  Ops:
+
+``ping``
+    Liveness + server identity (pid, protocol version, worker count).
+``submit``
+    ``{"jobs": [<SimJob.to_dict()>, ...], "wait": bool}``.  With
+    ``wait`` (the default) the response carries the results, in
+    submission order, once all jobs finish; without it, a ticket id to
+    poll via ``results``.  Either way the response's ``summary`` says how
+    the batch was satisfied (cache hits / coalesced / enqueued).
+``results``
+    ``{"ticket": <id>}`` — the batch's results if complete, else a
+    progress report.
+``status``
+    Queue depth, per-worker state, lifetime counters, cache stats,
+    journal location, open tickets.
+``shutdown``
+    Stop the daemon after acknowledging.
+
+Crash safety is inherited from PR 3's journal machinery: every executed
+job is appended (``fsync`` per record) to the service journal, and a
+restarted daemon replays it into the cache, so completed work survives
+daemon restarts as well as worker deaths (the queue requeues those).
+
+See docs/architecture.md for the full data-flow picture.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+from pathlib import Path
+
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.checkpoint import CampaignJournal, JournalHeader
+from repro.engine.executors import resolve_jobs
+from repro.engine.job import SimJob
+from repro.engine.queue import JobFailed, JobQueue, WorkerPool
+
+#: Environment variable naming the default service socket path.
+SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+
+#: Fallback socket path when neither ``--socket`` nor the env var is set.
+DEFAULT_SOCKET = "repro-service.sock"
+
+#: Wire protocol version, echoed by ``ping`` and checked by clients.
+PROTOCOL_VERSION = 1
+
+#: Maximum request/response line length (a 20-job grid is ~20 KB).
+MAX_LINE = 64 * 1024 * 1024
+
+#: Most tickets a daemon remembers; beyond this, the oldest *completed*
+#: tickets are forgotten first (a never-polled ``--no-wait`` submission
+#: must not grow daemon memory forever).
+MAX_TICKETS = 1024
+
+#: Header binding a service journal.  Unlike a campaign journal, the
+#: service's job set is open-ended, so the binding key is a constant: any
+#: service journal can resume any service (entries are still keyed by job
+#: content key, so replay is exact).
+SERVICE_JOURNAL_CAMPAIGN = "__service__"
+SERVICE_JOURNAL_KEY = "service-v1"
+
+
+def default_socket_path(explicit: str | os.PathLike | None = None) -> Path:
+    """Resolve the service socket path (flag, else env, else cwd default)."""
+    if explicit:
+        return Path(explicit)
+    raw = os.environ.get(SOCKET_ENV, "").strip()
+    return Path(raw) if raw else Path(DEFAULT_SOCKET)
+
+
+class SimService:
+    """A running daemon: socket server + job queue + cache + journal."""
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike | None = None,
+        *,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        journal_path: str | os.PathLike | None = None,
+    ):
+        self.socket_path = default_socket_path(socket_path)
+        self.workers = resolve_jobs(workers)
+        self.cache = cache if cache is not None else ResultCache(default_cache_dir())
+        self.journal_path = Path(journal_path) if journal_path else None
+        self.journal: CampaignJournal | None = None
+        self.replayed = 0
+        self.queue: JobQueue | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._stop_event: asyncio.Event | None = None
+        self._tickets: dict[int, dict] = {}
+        self._next_ticket = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the journal, start the queue, bind the socket."""
+        self._stop_event = asyncio.Event()
+        if self.journal_path is not None:
+            self.journal = CampaignJournal(self.journal_path)
+            self.journal.open(JournalHeader(
+                campaign=SERVICE_JOURNAL_CAMPAIGN,
+                key=SERVICE_JOURNAL_KEY,
+                total=0,
+            ))
+            # Replay completed work into the cache: a restarted daemon
+            # answers everything it ever finished without re-simulating.
+            for key, result in self.journal.entries.items():
+                self.cache.seed(key, result)
+                self.replayed += 1
+        self.queue = JobQueue(WorkerPool(self.workers), cache=self.cache,
+                              journal=self.journal)
+        await self.queue.start()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            # Refuse to hijack a live daemon; only a *stale* socket (no
+            # listener answering ping) is cleaned up and bound over.
+            from repro.engine.client import ServiceError, service_running
+
+            if service_running(self.socket_path):
+                await self._teardown_queue_and_journal()
+                raise ServiceError(
+                    f"another repro service is already listening on "
+                    f"{self.socket_path}; stop it first or pick a "
+                    "different --socket"
+                )
+            self.socket_path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=str(self.socket_path), limit=MAX_LINE,
+        )
+
+    async def stop(self) -> None:
+        """Close the socket, stop the queue, close the journal."""
+        if self._server is not None:
+            self._server.close()
+            # Cancel open client connections before wait_closed(): from
+            # Python 3.12.1 wait_closed blocks until every handler ends,
+            # and an idle client holding its connection would otherwise
+            # hang the shutdown forever.
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+            await self._server.wait_closed()
+            self._server = None
+        await self._teardown_queue_and_journal()
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+
+    async def _teardown_queue_and_journal(self) -> None:
+        if self.queue is not None:
+            await self.queue.stop()
+            self.queue = None
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit (safe from signal handlers)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_until_shutdown(self, on_ready=None) -> None:
+        """Run until :meth:`request_shutdown` (the ``shutdown`` op or a
+        signal) fires, then tear everything down.
+
+        *on_ready*, if given, is called with the service once the socket
+        is bound (e.g. to print the daemon's ready line).
+        """
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.stop()
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request is not a JSON object")
+                except ValueError as exc:
+                    response = {"ok": False, "error": f"bad request: {exc}"}
+                else:
+                    response = await self._dispatch(request)
+                writer.write((json.dumps(response, sort_keys=True)
+                              + "\n").encode())
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Daemon shutting down mid-connection: end the handler task
+            # cleanly so loop teardown doesn't log spurious tracebacks.
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) \
+            else None
+        if handler is None or (isinstance(op, str) and op.startswith("_")):
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return await handler(request)
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return {"ok": False,
+                    "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- ops -------------------------------------------------------------
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {
+            "ok": True,
+            "server": {
+                "pid": os.getpid(),
+                "protocol": PROTOCOL_VERSION,
+                "workers": self.workers,
+                "socket": str(self.socket_path),
+            },
+        }
+
+    async def _op_status(self, request: dict) -> dict:
+        tickets = {
+            str(ticket_id): {
+                "jobs": len(record["futures"]),
+                "done": sum(1 for f in record["futures"] if f.done()),
+            }
+            for ticket_id, record in self._tickets.items()
+        }
+        return {
+            "ok": True,
+            "queue": self.queue.describe(),
+            "cache": self.cache.stats(),
+            "journal": {
+                "path": str(self.journal_path) if self.journal_path else None,
+                "entries": self.journal.done if self.journal else 0,
+                "replayed": self.replayed,
+            },
+            "tickets": tickets,
+        }
+
+    async def _op_submit(self, request: dict) -> dict:
+        raw_jobs = request.get("jobs")
+        if not isinstance(raw_jobs, list) or not raw_jobs:
+            return {"ok": False, "error": "submit needs a non-empty 'jobs' list"}
+        try:
+            jobs = [SimJob.from_dict(raw) for raw in raw_jobs]
+        except (TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"bad job spec: {exc}"}
+        futures, summary = self.queue.submit(jobs)
+        ticket_id = self._remember_ticket(futures)
+        if not request.get("wait", True):
+            return {"ok": True, "ticket": ticket_id, "summary": summary}
+        results = await self._gather(futures)
+        self._tickets.pop(ticket_id, None)
+        if isinstance(results, dict):  # error response
+            return results
+        return {"ok": True, "ticket": ticket_id, "summary": summary,
+                "results": results}
+
+    async def _op_results(self, request: dict) -> dict:
+        ticket_id = request.get("ticket")
+        record = self._tickets.get(ticket_id) if isinstance(ticket_id, int) \
+            else None
+        if record is None:
+            return {"ok": False, "error": f"unknown ticket {ticket_id!r}"}
+        futures = record["futures"]
+        done = sum(1 for f in futures if f.done())
+        if done < len(futures):
+            return {"ok": True, "ticket": ticket_id, "pending": True,
+                    "done": done, "total": len(futures)}
+        # The ticket stays fetchable after completion (re-polls and
+        # retries are cheap and idempotent); the bounded ticket table
+        # evicts it once it is old enough (:meth:`_remember_ticket`).
+        results = await self._gather(futures)
+        if isinstance(results, dict):
+            return results
+        return {"ok": True, "ticket": ticket_id, "pending": False,
+                "results": results}
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        self.request_shutdown()
+        return {"ok": True, "stopping": True}
+
+    def _remember_ticket(self, futures: list[asyncio.Future]) -> int:
+        """Record a submission's futures; evict old completed tickets.
+
+        Eviction only considers fully-done tickets (oldest first), so an
+        in-flight ``--no-wait`` submission is never forgotten while its
+        jobs are still running.
+        """
+        ticket_id = self._next_ticket
+        self._next_ticket += 1
+        self._tickets[ticket_id] = {"futures": futures}
+        if len(self._tickets) > MAX_TICKETS:
+            for old_id in sorted(self._tickets):
+                if old_id == ticket_id:
+                    continue
+                if all(f.done() for f in self._tickets[old_id]["futures"]):
+                    del self._tickets[old_id]
+                    if len(self._tickets) <= MAX_TICKETS:
+                        break
+        return ticket_id
+
+    async def _gather(self, futures: list[asyncio.Future]) -> list | dict:
+        """Await a batch; job failures become one error response."""
+        try:
+            results = await asyncio.gather(*futures)
+        except JobFailed as exc:
+            return {"ok": False, "error": f"job failed: {exc}"}
+        return [result.to_dict() for result in results]
+
+
+def run_service(
+    socket_path: str | os.PathLike | None = None,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    journal_path: str | os.PathLike | None = None,
+    install_signal_handlers: bool = True,
+    ready_message: bool = True,
+) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    Runs the daemon until ``SIGINT``/``SIGTERM`` or a client ``shutdown``
+    op.  Returns a process exit code.
+    """
+    service = SimService(socket_path, workers=workers, cache=cache,
+                         journal_path=journal_path)
+
+    def _print_ready(svc: SimService) -> None:
+        where = svc.cache.directory or "memory-only"
+        journal = svc.journal_path or "disabled"
+        print(f"repro service: socket={svc.socket_path} "
+              f"workers={svc.workers} cache={where} journal={journal}"
+              + (f" (replayed {svc.replayed} journaled results)"
+                 if svc.replayed else ""),
+              file=sys.stderr, flush=True)
+
+    async def _main() -> None:
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, service.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread or platform without support
+        await service.serve_until_shutdown(
+            on_ready=_print_ready if ready_message else None)
+
+    from repro.engine.checkpoint import JournalError
+    from repro.engine.client import ServiceError
+
+    try:
+        asyncio.run(_main())
+    except (ServiceError, JournalError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if isinstance(exc, JournalError):
+            print("hint: --journal must point at a service journal file — "
+                  "not a campaign journal, and not one already in use by "
+                  "another daemon", file=sys.stderr)
+        return 1
+    return 0

@@ -31,9 +31,15 @@ from repro.analysis.cost_model import (
     vp_register_file_overheads,
 )
 from repro.analysis.report import format_table, geometric_mean
-from repro.engine.api import configure_default_engine
-from repro.engine.campaign import progress_printer, run_campaign
+from repro.engine.api import configure_default_engine, set_default_engine
+from repro.engine.campaign import (
+    BACKENDS,
+    engine_for_backend,
+    progress_printer,
+    run_campaign,
+)
 from repro.engine.checkpoint import default_checkpoint_dir
+from repro.engine.client import ServiceError
 from repro.experiments import figures, tables
 from repro.experiments.campaigns import reproduce_campaign
 from repro.experiments.runner import DEFAULT_MEASURE, DEFAULT_WARMUP
@@ -109,13 +115,39 @@ def build_parser() -> argparse.ArgumentParser:
              "resumes where it stopped (the journal is DIR/reproduce.jsonl; "
              "default: $REPRO_CHECKPOINT_DIR or no journal)",
     )
+    parser.add_argument(
+        "--backend", default="local", choices=BACKENDS,
+        help="where simulations execute: this process ('local') or a "
+             "running `repro serve` daemon ('service'); output is "
+             "byte-identical either way",
+    )
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="service socket for --backend service "
+             "(default: $REPRO_SERVICE_SOCKET or ./repro-service.sock)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     n_uops, warmup = args.n_uops, args.warmup
-    engine = configure_default_engine(jobs=args.jobs, cache_dir=args.cache_dir)
+    if args.backend == "local":
+        engine = configure_default_engine(jobs=args.jobs,
+                                          cache_dir=args.cache_dir)
+    else:
+        # Service backend: batches go to the daemon, and the service
+        # engine *becomes* the default so the figure renderers below
+        # replay from its (journal-warmed) local cache.
+        if args.jobs is not None or args.cache_dir is not None:
+            print("note: --jobs/--cache-dir apply to the daemon, not this "
+                  "client; they are ignored with --backend service",
+                  file=sys.stderr)
+        try:
+            engine = set_default_engine(
+                engine_for_backend(args.backend, args.socket))
+        except ServiceError as exc:
+            raise SystemExit(f"error: {exc}") from None
     t0 = time.time()
 
     # Execute the whole evaluation as one (optionally journaled) campaign;
@@ -127,8 +159,11 @@ def main(argv: list[str] | None = None) -> int:
     if checkpoint_dir is not None:
         journal = checkpoint_dir / f"{spec.name}.jsonl"
 
-    campaign = run_campaign(spec, engine=engine, journal=journal,
-                            progress=progress_printer(spec.name))
+    try:
+        campaign = run_campaign(spec, engine=engine, journal=journal,
+                                progress=progress_printer(spec.name))
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from None
     print(file=sys.stderr)
     print(f"[{spec.name}] {campaign.stats['total']} jobs: "
           f"{campaign.stats['from_journal']} from journal, "

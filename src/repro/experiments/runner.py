@@ -29,6 +29,7 @@ from repro.pipeline.core import simulate
 from repro.pipeline.result import SimResult
 from repro.predictors.base import ValuePredictor
 from repro.predictors.fcm import DifferentialFCMPredictor, FCMPredictor
+from repro.predictors.gdiff import GDiffPredictor
 from repro.predictors.lvp import LastValuePredictor
 from repro.predictors.oracle import OraclePredictor
 from repro.predictors.stride import (
@@ -50,6 +51,7 @@ PREDICTOR_NAMES = (
     "ps-stride",
     "fcm",
     "dfcm",
+    "gdiff",
     "vtage",
     "vtage-2dstride",
     "fcm-2dstride",
@@ -93,6 +95,17 @@ def make_predictor(
     if name == "dfcm":
         return DifferentialFCMPredictor(
             entries=entries, confidence=make_confidence(fpc, recovery)
+        )
+    if name == "gdiff":
+        # gDiff needs a backing predictor to fill its speculative global
+        # value history (Section 2); 2D-Stride is the paper's cheapest
+        # competitive choice.
+        return GDiffPredictor(
+            backing=TwoDeltaStridePredictor(
+                entries=entries, confidence=make_confidence(fpc, recovery)
+            ),
+            entries=entries // 2,
+            confidence=make_confidence(fpc, recovery),
         )
     if name == "vtage":
         return VTAGEPredictor(

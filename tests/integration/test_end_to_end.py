@@ -38,7 +38,7 @@ class TestQuickRun:
 
 class TestPredictorFactories:
     @pytest.mark.parametrize("name", [
-        "lvp", "stride", "2dstride", "ps-stride", "fcm", "dfcm",
+        "lvp", "stride", "2dstride", "ps-stride", "fcm", "dfcm", "gdiff",
         "vtage", "vtage-2dstride", "fcm-2dstride",
     ])
     def test_factory_builds_and_runs(self, name):

@@ -1,0 +1,281 @@
+"""Service round-trip tests: daemon + concurrent clients + crash safety.
+
+These spawn a real ``repro serve`` daemon as a subprocess and talk to it
+through the real socket protocol — the acceptance criteria of the
+service layer:
+
+* two concurrent clients submitting overlapping 20-job grids get
+  results **bit-identical** to in-process ``run_jobs``, with summary
+  counters proving cross-client sharing (each unique spec simulates
+  exactly once);
+* ``SIGKILL`` of a worker mid-batch loses no jobs — the daemon requeues
+  and completes them on a replacement worker;
+* a daemon restarted on its ``--journal`` replays completed work into
+  its cache instead of re-simulating.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.api import Engine
+from repro.engine.cache import ResultCache
+from repro.engine.client import ServiceClient, wait_for_service
+from repro.engine.executors import SerialExecutor
+from repro.engine.job import SimJob
+from repro.pipeline.result import SimResult
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SMALL = dict(n_uops=2000, warmup=1000)
+
+# Two overlapping 20-job grids (2 predictors x 10 workloads each,
+# sharing 8 workloads => 16 overlapping jobs).
+WORKLOADS = ("gzip", "wupwise", "applu", "vpr", "art", "crafty", "parser",
+             "vortex", "bzip2", "gcc", "gamess", "mcf")
+GRID_A = [SimJob.make(w, p, **SMALL)
+          for p in ("lvp", "2dstride") for w in WORKLOADS[:10]]
+GRID_B = [SimJob.make(w, p, **SMALL)
+          for p in ("lvp", "2dstride") for w in WORKLOADS[2:12]]
+
+
+def _spawn_daemon(socket_path, *extra_args, jobs="2"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")) if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "-j", jobs, "serve",
+         "--socket", str(socket_path), *map(str, extra_args)],
+        env=env, stderr=subprocess.DEVNULL,
+    )
+    try:
+        wait_for_service(socket_path, timeout=30)
+    except Exception:
+        proc.kill()
+        raise
+    return proc
+
+
+def _local_results(jobs):
+    engine = Engine(executor=SerialExecutor(), cache=ResultCache(None))
+    return engine.run_jobs(jobs)
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """One shared daemon (2 workers) for the round-trip tests."""
+    root = tmp_path_factory.mktemp("service")
+    socket_path = root / "repro.sock"
+    proc = _spawn_daemon(socket_path)
+    yield socket_path
+    try:
+        with ServiceClient(socket_path, timeout=5.0) as client:
+            client.shutdown()
+        proc.wait(timeout=15)
+    except Exception:
+        proc.kill()
+
+
+class TestRoundTrip:
+    def test_two_concurrent_clients_bit_identical_with_sharing(self, daemon):
+        with ServiceClient(daemon) as probe:
+            before = probe.status()["queue"]["stats"]
+
+        responses = {}
+
+        def client(name, grid):
+            with ServiceClient(daemon) as conn:
+                responses[name] = conn.submit(grid)
+
+        threads = [threading.Thread(target=client, args=("A", GRID_A)),
+                   threading.Thread(target=client, args=("B", GRID_B))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Bit-identity against the in-process engine, per client, in
+        # submission order.
+        for grid, name in ((GRID_A, "A"), (GRID_B, "B")):
+            remote = [SimResult.from_dict(raw)
+                      for raw in responses[name]["results"]]
+            local = _local_results(grid)
+            assert [r.to_dict() for r in remote] == \
+                [r.to_dict() for r in local], f"client {name} diverged"
+
+        # Cross-client sharing: the daemon executed each unique spec
+        # exactly once; the 16-job overlap was answered from the cache
+        # or coalesced onto in-flight work.
+        unique = {job.content_key() for job in GRID_A + GRID_B}
+        with ServiceClient(daemon) as probe:
+            after = probe.status()["queue"]["stats"]
+        executed = after["executed"] - before["executed"]
+        assert executed == len(unique)
+        shared = sum(responses[n]["summary"]["cache_hits"]
+                     + responses[n]["summary"]["coalesced"]
+                     for n in ("A", "B"))
+        assert shared == len(GRID_A) + len(GRID_B) - len(unique)
+
+    def test_resubmission_is_pure_cache_hits(self, daemon):
+        with ServiceClient(daemon) as conn:
+            response = conn.submit(GRID_A)
+        assert response["summary"]["cache_hits"] == len(GRID_A)
+        assert response["summary"]["enqueued"] == 0
+
+    def test_no_wait_ticket_flow(self, daemon):
+        jobs = [SimJob.make("milc", "lvp", **SMALL),
+                SimJob.make("namd", "lvp", **SMALL)]
+        with ServiceClient(daemon) as conn:
+            submitted = conn.submit(jobs, wait=False)
+            ticket = submitted["ticket"]
+            deadline = time.monotonic() + 60.0
+            while True:
+                response = conn.results(ticket)
+                if not response.get("pending"):
+                    break
+                assert time.monotonic() < deadline, "ticket never completed"
+                time.sleep(0.05)
+        remote = [SimResult.from_dict(raw) for raw in response["results"]]
+        local = _local_results(jobs)
+        assert [r.to_dict() for r in remote] == [r.to_dict() for r in local]
+        # Completed tickets stay fetchable (re-polls are idempotent).
+        with ServiceClient(daemon) as conn:
+            again = conn.results(ticket)
+        assert again["results"] == response["results"]
+
+    def test_status_and_ping_shape(self, daemon):
+        with ServiceClient(daemon) as conn:
+            server = conn.ping()
+            status = conn.status()
+        assert server["workers"] == 2
+        assert server["protocol"] == 1
+        workers = status["queue"]["workers"]
+        assert len(workers) == 2
+        assert all(w["alive"] for w in workers)
+        stats = status["queue"]["stats"]
+        assert stats["submitted"] >= stats["executed"]
+
+    def test_sigkill_worker_mid_batch_loses_no_jobs(self, daemon):
+        # Larger jobs so the kill lands while the batch is in flight.
+        jobs = [SimJob.make(w, "vtage", n_uops=14000, warmup=7000)
+                for w in ("gzip", "gcc", "crafty", "applu", "bzip2", "namd")]
+        with ServiceClient(daemon) as conn:
+            submitted = conn.submit(jobs, wait=False)
+            ticket = submitted["ticket"]
+            victim = None
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                busy = [w for w in conn.status()["queue"]["workers"]
+                        if w["task"] and w["alive"]]
+                if busy:
+                    victim = busy[0]["pid"]
+                    break
+                time.sleep(0.02)
+            assert victim is not None, "no worker ever went busy"
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 120.0
+            while True:
+                response = conn.results(ticket)
+                if not response.get("pending"):
+                    break
+                assert time.monotonic() < deadline, "batch never completed"
+                time.sleep(0.05)
+            status = conn.status()
+        assert status["queue"]["restarts"] >= 1
+        assert status["queue"]["stats"]["requeued"] >= 1
+        remote = [SimResult.from_dict(raw) for raw in response["results"]]
+        local = _local_results(jobs)
+        assert [r.to_dict() for r in remote] == [r.to_dict() for r in local]
+
+
+class TestCLIClients:
+    def _run_cli(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH", ""))
+            if p)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", *map(str, args)],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+
+    def test_submit_and_status_verbs(self, daemon):
+        out = self._run_cli("submit", "--workloads", "gzip,gcc",
+                            "--predictors", "lvp", "--uops", "2000",
+                            "--warmup", "1000", "--socket", daemon)
+        assert out.returncode == 0, out.stderr
+        assert "submitted 2 job(s)" in out.stdout
+        assert out.stdout.count("IPC") == 2
+        status = self._run_cli("status", "--socket", daemon)
+        assert status.returncode == 0, status.stderr
+        assert "workers (2):" in status.stdout
+
+    def test_campaign_service_backend(self, daemon):
+        out = self._run_cli("campaign", "run", "fig4", "--backend", "service",
+                            "--socket", daemon, "--workloads", "gzip",
+                            "--uops", "1500", "--warmup", "750")
+        assert out.returncode == 0, out.stderr
+        assert "9 unique jobs" in out.stdout
+
+    def test_submit_unknown_predictor_fails_cleanly(self, daemon):
+        out = self._run_cli("submit", "--workloads", "gzip",
+                            "--predictors", "martian", "--socket", daemon)
+        assert out.returncode != 0
+        assert "unknown predictors" in out.stderr
+
+
+class TestRestartSafety:
+    def test_journal_replay_across_daemon_restart(self, tmp_path):
+        socket_path = tmp_path / "restart.sock"
+        journal = tmp_path / "service.jsonl"
+        jobs = [SimJob.make(w, "lvp", **SMALL) for w in ("gzip", "gcc")]
+
+        proc = _spawn_daemon(socket_path, "--journal", journal)
+        try:
+            with ServiceClient(socket_path) as conn:
+                first = conn.submit(jobs)
+                conn.shutdown()
+            proc.wait(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        proc = _spawn_daemon(socket_path, "--journal", journal)
+        try:
+            with ServiceClient(socket_path) as conn:
+                second = conn.submit(jobs)
+                status = conn.status()
+                conn.shutdown()
+            proc.wait(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # The restarted daemon answered everything from the journal.
+        assert second["summary"]["cache_hits"] == len(jobs)
+        assert second["summary"]["enqueued"] == 0
+        assert status["journal"]["replayed"] == len(jobs)
+        assert second["results"] == first["results"]
+
+
+class TestExample:
+    def test_service_client_example_smoke(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH", ""))
+            if p)
+        out = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "examples" / "service_client.py"),
+             "1500"],
+            env=env, capture_output=True, text=True, timeout=300,
+            cwd=tmp_path,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "cross-client sharing saved" in out.stdout
+        assert "bit-identical" in out.stdout

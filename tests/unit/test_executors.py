@@ -1,0 +1,86 @@
+"""Edge cases for executor selection: bad values clamp, never crash."""
+
+import pytest
+
+from repro.engine.executors import (
+    JOBS_ENV,
+    MAX_JOBS,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_jobs,
+)
+
+
+class TestResolveJobsExplicit:
+    def test_none_with_env_unset_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_value_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "8")
+        assert resolve_jobs(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_zero_and_negative_clamp_to_serial(self, bad):
+        assert resolve_jobs(bad) == 1
+
+    def test_huge_value_clamps_to_max(self):
+        assert resolve_jobs(10**9) == MAX_JOBS
+
+    def test_numeric_string_accepted(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs("4") == 4
+
+    def test_garbage_explicit_falls_back_to_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs("not-a-number") == 5
+
+    def test_garbage_explicit_and_no_env_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs("not-a-number") == 1
+
+
+class TestResolveJobsEnv:
+    @pytest.mark.parametrize("raw,expected", [
+        ("4", 4),
+        ("1", 1),
+        ("0", 1),            # clamp, not crash
+        ("-3", 1),           # clamp, not crash
+        ("4.0", 4),          # float spelling degrades gracefully
+        ("2.9", 2),
+        ("garbage", 1),      # unusable text falls back to serial
+        ("", 1),
+        ("   ", 1),
+        ("inf", 1),          # OverflowError path
+        ("nan", 1),
+    ])
+    def test_env_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(JOBS_ENV, raw)
+        assert resolve_jobs() == expected
+
+    def test_env_huge_clamps_to_max(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "1000000")
+        assert resolve_jobs() == MAX_JOBS
+
+
+class TestMakeExecutor:
+    def test_serial_for_one(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert isinstance(make_executor(), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_pool_for_two(self):
+        executor = make_executor(2)
+        assert isinstance(executor, PoolExecutor)
+        assert executor.jobs == 2
+
+    @pytest.mark.parametrize("bad", [0, -7, "garbage"])
+    def test_bad_values_degrade_to_serial(self, bad, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert isinstance(make_executor(bad), SerialExecutor)
+
+    def test_pool_executor_still_rejects_direct_misuse(self):
+        # The clamp lives in resolve_jobs; the class keeps its contract.
+        with pytest.raises(ValueError):
+            PoolExecutor(1)
