@@ -1,0 +1,167 @@
+"""Grid-level wall-clock benchmark: the trace plane's end-to-end effect.
+
+``test_bench_grid_json`` runs a fixed 24-job grid (6 workloads × 4
+predictor configs) under both worker counts {1, 4} in three trace-plane
+modes:
+
+* ``legacy`` — the pre-PR-5 behaviour: shared-memory plane disabled, no
+  trace store, every worker process rebuilds every trace it touches;
+* ``cold``   — trace plane on, trace store starting empty (first-ever
+  run on a machine): the parent materialises each unique trace once,
+  fans it out over shared memory, and seeds the store;
+* ``warm``   — trace plane on, store populated (daemon restart / next
+  campaign): every trace mmap-loads, zero generator runs.
+
+Wall-clock per mode is written to ``BENCH_grid.json`` at the repository
+root together with the speedups versus the same-worker-count legacy
+mode.  Timing numbers are *reported*, not gated (shared CI runners are
+too noisy for grid-level wall-clock floors, and with fewer cores than
+workers the parallel rows measure redundant-work elimination rather than
+parallel speedup — ``cpu_count`` is recorded for exactly that reason).
+What *is* asserted is structural and deterministic: all modes produce
+bit-identical result sets, the cold run populates the store with every
+unique trace, and the warm serial run executes zero generator runs.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.engine.api import Engine
+from repro.engine.cache import ResultCache
+from repro.engine.executors import make_executor
+from repro.engine.job import SimJob
+from repro.engine.shm import SHM_ENV
+from repro.workloads import catalog
+from repro.workloads.store import TRACE_DIR_ENV, TraceStore
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_GRID_PATH = _REPO_ROOT / "BENCH_grid.json"
+
+#: The fixed grid: 6 workloads spanning the behavioural families × 4
+#: predictor configs = 24 jobs sharing 6 unique traces.
+GRID_WORKLOADS = ("gzip", "gcc", "wupwise", "crafty", "milc", "h264ref")
+GRID_PREDICTORS = ("none", "lvp", "2dstride", "vtage")
+GRID_MEASURE = 8000
+GRID_WARMUP = 4000
+
+WORKER_COUNTS = (1, 4)
+
+#: Rounds per cell; the report keeps the fastest (same rationale as
+#: BENCH_core's best-of-5: strip scheduler noise, keep the real cost).
+ROUNDS = 2
+
+
+def grid_jobs() -> list[SimJob]:
+    return [
+        SimJob.make(w, p, n_uops=GRID_MEASURE, warmup=GRID_WARMUP)
+        for p in GRID_PREDICTORS
+        for w in GRID_WORKLOADS
+    ]
+
+
+def _set_env(name: str, value: str | None) -> None:
+    if value is None:
+        os.environ.pop(name, None)
+    else:
+        os.environ[name] = value
+
+
+def run_grid_mode(jobs: list[SimJob], workers: int, *,
+                  trace_dir: str | None, shm: bool) -> tuple[float, list, int]:
+    """One measured grid run; returns (wall seconds, result dicts,
+    parent-process generator runs)."""
+    saved = {name: os.environ.get(name) for name in (TRACE_DIR_ENV, SHM_ENV)}
+    _set_env(TRACE_DIR_ENV, trace_dir)
+    _set_env(SHM_ENV, None if shm else "0")
+    catalog.clear_trace_cache()
+    engine = Engine(executor=make_executor(workers), cache=ResultCache(None))
+    generations_before = catalog.generation_count()
+    try:
+        start = time.perf_counter()
+        results = engine.run_jobs(jobs)
+        wall = time.perf_counter() - start
+    finally:
+        for name, value in saved.items():
+            _set_env(name, value)
+        catalog.clear_trace_cache()
+    return (wall, [r.to_dict() for r in results],
+            catalog.generation_count() - generations_before)
+
+
+def emit_bench_grid(store_root: Path,
+                    path: Path = BENCH_GRID_PATH) -> tuple[dict, dict]:
+    """Measure every (workers × mode) cell and write BENCH_grid.json.
+
+    Returns ``(report, result-dict-lists per cell)`` so the caller can
+    assert cross-mode bit-identity.
+    """
+    jobs = grid_jobs()
+    unique_traces = {(j.workload, j.warmup + j.n_uops, j.seed) for j in jobs}
+    cells: dict[str, dict] = {}
+    results: dict[str, list] = {}
+    for workers in WORKER_COUNTS:
+        store_dir = store_root / f"w{workers}"
+        plan = (
+            ("legacy", dict(trace_dir=None, shm=False)),
+            ("cold", dict(trace_dir=str(store_dir), shm=True)),
+            ("warm", dict(trace_dir=str(store_dir), shm=True)),
+        )
+        for mode, kwargs in plan:
+            wall = None
+            for _ in range(ROUNDS):
+                if mode == "cold" and kwargs["trace_dir"] is not None:
+                    # Every cold round starts from an empty store.
+                    TraceStore(kwargs["trace_dir"]).clear()
+                round_wall, dicts, generations = \
+                    run_grid_mode(jobs, workers, **kwargs)
+                wall = round_wall if wall is None else min(wall, round_wall)
+            cell = f"{mode}-w{workers}"
+            cells[cell] = {
+                "wall_s": round(wall, 3),
+                "parent_generations": generations,
+            }
+            results[cell] = dicts
+        for mode in ("cold", "warm"):
+            cell = cells[f"{mode}-w{workers}"]
+            legacy = cells[f"legacy-w{workers}"]["wall_s"]
+            cell["speedup_vs_legacy"] = round(legacy / cell["wall_s"], 3)
+        cells[f"store-w{workers}"] = TraceStore(store_dir).stats()["entries"]
+    report = {
+        "schema": 1,
+        "unit": "wall_s",
+        "grid": {
+            "jobs": len(jobs),
+            "workloads": list(GRID_WORKLOADS),
+            "predictors": list(GRID_PREDICTORS),
+            "n_uops": GRID_MEASURE,
+            "warmup": GRID_WARMUP,
+            "unique_traces": len(unique_traces),
+        },
+        "workers": list(WORKER_COUNTS),
+        "cells": cells,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+    }
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return report, results
+
+
+def test_bench_grid_json(tmp_path):
+    """Emit BENCH_grid.json and pin the trace plane's structural facts."""
+    report, results = emit_bench_grid(tmp_path / "trace-store")
+    cells = report["cells"]
+    reference = results["legacy-w1"]
+    for cell, dicts in results.items():
+        assert dicts == reference, f"{cell} diverged from legacy-w1 results"
+    for workers in WORKER_COUNTS:
+        # The cold run must have left one store entry per unique trace...
+        assert cells[f"store-w{workers}"] == report["grid"]["unique_traces"]
+    # ...and a warm serial run never touches the generators.
+    assert cells["warm-w1"]["parent_generations"] == 0
+    assert cells["cold-w1"]["parent_generations"] == \
+        report["grid"]["unique_traces"]

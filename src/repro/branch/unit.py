@@ -45,6 +45,11 @@ class BranchResult:
 #: returned :class:`BranchResult` instances as read-only.
 _WELL_PREDICTED = BranchResult()
 
+_BRANCH_INT = int(OpClass.BRANCH)
+_JUMP_INT = int(OpClass.JUMP)
+_CALL_INT = int(OpClass.CALL)
+_RET_INT = int(OpClass.RET)
+
 
 class BranchUnit:
     """Predict/train all control µops and maintain the shared history."""
@@ -64,17 +69,29 @@ class BranchUnit:
         Returns a read-only :class:`BranchResult`; the common
         well-predicted outcome is a shared instance.
         """
-        op = uop.op_class
-        if op is OpClass.BRANCH:
+        return self.process_scalar(
+            int(uop.op_class), uop.pc, uop.taken, uop.target
+        )
+
+    def process_scalar(self, op: int, pc: int, taken: bool,
+                       target: int) -> BranchResult:
+        """:meth:`process` over bare column scalars.
+
+        The scheduler's hot loop already holds the op class, PC, direction
+        and target as columnar ints (:class:`~repro.isa.trace.TraceColumns`),
+        so this path skips the µop object entirely — which also lets
+        store-loaded / shared-memory-attached traces simulate without ever
+        materialising :class:`MicroOp` instances.  Same logic, same
+        training, same results as :meth:`process`.
+        """
+        if op == _BRANCH_INT:
             self.cond_branches += 1
             tage = self.tage
-            pc = uop.pc
-            taken = uop.taken
             predicted, payload = tage.predict(pc, self.context)
             if predicted != taken:
                 result = BranchResult(direction_mispredict=True)
                 self.direction_mispredicts += 1
-            elif taken and self._check_target(uop):
+            elif taken and self._check_target(pc, target):
                 result = BranchResult(target_mispredict=True)
                 self.target_mispredicts += 1
             else:
@@ -85,31 +102,31 @@ class BranchUnit:
             # µops refetch), so pushing the actual outcome is faithful.
             self.context.push_branch(taken, pc)
             return result
-        if op is OpClass.JUMP:
-            if self._check_target(uop):
+        if op == _JUMP_INT:
+            if self._check_target(pc, target):
                 self.target_mispredicts += 1
                 return BranchResult(target_mispredict=True)
             return _WELL_PREDICTED
-        if op is OpClass.CALL:
-            missed = self._check_target(uop)
-            self.ras.push(uop.pc + 4)
+        if op == _CALL_INT:
+            missed = self._check_target(pc, target)
+            self.ras.push(pc + 4)
             if missed:
                 self.target_mispredicts += 1
                 return BranchResult(target_mispredict=True)
             return _WELL_PREDICTED
-        if op is OpClass.RET:
+        if op == _RET_INT:
             predicted_target = self.ras.pop()
-            if predicted_target != uop.target:
+            if predicted_target != target:
                 self.direction_mispredicts += 1
                 # Full penalty: resolved late.
                 return BranchResult(direction_mispredict=True)
             return _WELL_PREDICTED
         return _WELL_PREDICTED
 
-    def _check_target(self, uop: MicroOp) -> bool:
+    def _check_target(self, pc: int, target: int) -> bool:
         """BTB check for a taken control µop; installs on miss."""
-        cached = self.btb.lookup(uop.pc)
-        if cached == uop.target:
+        cached = self.btb.lookup(pc)
+        if cached == target:
             return False
-        self.btb.install(uop.pc, uop.target)
+        self.btb.install(pc, target)
         return True

@@ -73,7 +73,15 @@ from repro.experiments.runner import (
     baseline_result,
     run_workload,
 )
-from repro.workloads.catalog import ALL_WORKLOADS, WORKLOADS, known_workload
+from repro.util import profiling
+from repro.workloads.catalog import (
+    ALL_WORKLOADS,
+    WORKLOADS,
+    build_trace,
+    known_workload,
+    resolve_seed,
+)
+from repro.workloads.store import TRACE_DIR_ENV, TraceStore, default_trace_store
 
 _FIGURES = {
     "1": figures.figure1,
@@ -109,6 +117,8 @@ def _parse_workloads(raw: str | None) -> tuple[str, ...] | None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.profile:
+        profiling.enable()
     result = run_workload(args.workload, args.predictor, n_uops=args.uops,
                           warmup=args.warmup, recovery=args.recovery,
                           fpc=not args.no_fpc)
@@ -117,6 +127,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         base = baseline_result(args.workload, n_uops=args.uops,
                                warmup=args.warmup)
         print(f"speedup over no-VP baseline: {result.speedup_over(base):.3f}x")
+    if args.profile:
+        profiling.disable()
+        print(profiling.format_report(), file=sys.stderr)
     return 0
 
 
@@ -220,6 +233,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         if not journal.is_file():
             raise SystemExit(f"nothing to resume: no journal at {journal}")
 
+    if args.profile:
+        profiling.enable()
     try:
         engine = engine_for_backend(args.backend, args.socket)
         if args.backend != "local":
@@ -248,6 +263,60 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.render and definition.render is not None:
         print()
         print(definition.render(result))
+    if args.profile:
+        profiling.disable()
+        print(profiling.format_report(), file=sys.stderr)
+    return 0
+
+
+def _trace_store(args: argparse.Namespace) -> TraceStore:
+    if args.trace_dir:
+        return TraceStore(args.trace_dir)
+    store = default_trace_store()
+    if store is None:
+        raise SystemExit(
+            f"the trace store needs --trace-dir (or ${TRACE_DIR_ENV})"
+        )
+    return store
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    store = _trace_store(args)
+    if args.action == "build":
+        workloads = _parse_workloads(args.workloads)
+        if workloads is None:
+            raise SystemExit("trace build needs --workloads")
+        total = args.warmup + args.uops
+        for name in workloads:
+            seed = resolve_seed(name, args.seed)
+            if store.get(name, total, seed) is not None:
+                print(f"{name:<24} {total:>8} µops seed {seed}: already stored")
+                continue
+            trace = build_trace(name, total, seed=args.seed, cache=False)
+            store.put(trace, name, total, seed)
+            print(f"{name:<24} {total:>8} µops seed {seed}: "
+                  f"built and stored ({trace.nbytes / 1024:.0f} KB packed)")
+        return 0
+    if args.action == "ls":
+        rows = store.entries()
+        if not rows:
+            print(f"no stored traces under {store.directory}")
+            return 0
+        for row in sorted(rows, key=lambda r: (r.get("name", ""),
+                                               r.get("n_uops", 0))):
+            print(f"{row.get('name', '?'):<24} {row.get('n_uops', 0):>8} µops"
+                  f"  seed {row.get('seed', '?'):<6}"
+                  f" {int(row.get('nbytes', 0)) / 1024:>9.0f} KB"
+                  f"  {row['key'][:12]}…")
+        if args.stats:
+            stats = store.stats()
+            print(f"total: {stats['entries']} trace(s), "
+                  f"{stats['bytes'] / (1024 * 1024):.1f} MB under "
+                  f"{stats['directory']}")
+        return 0
+    # clear
+    removed = store.clear()
+    print(f"removed {removed} stored trace(s) from {store.directory}")
     return 0
 
 
@@ -330,6 +399,14 @@ def cmd_service_status(args: argparse.Namespace) -> int:
           f"{stats['coalesced']} coalesced + "
           f"{stats['executed']} executed; "
           f"{stats['requeued']} requeued, {stats['errors']} error(s)")
+    traces = queue.get("traces")
+    if traces:
+        print(f"trace plane: {traces['segments']} shared segment(s) "
+              f"({traces['bytes'] / (1024 * 1024):.1f} MB, "
+              f"{traces['leased']} leased) — "
+              f"{traces['materialized']} materialized, "
+              f"{traces['shared']} lease(s) served, "
+              f"{traces['failures']} failure(s)")
     cache = status["cache"]
     where = cache["directory"] or "memory-only"
     print(f"cache: {where} — {cache['memory_entries']} in memory, "
@@ -413,6 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use plain 3-bit confidence counters")
     run_p.add_argument("--uops", type=int, default=DEFAULT_MEASURE)
     run_p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    run_p.add_argument("--profile", action="store_true",
+                       help="print per-phase wall-clock timings (trace "
+                            "build / columnize / simulate / cache IO) "
+                            "after the run")
     run_p.set_defaults(fn=cmd_run)
 
     table_p = sub.add_parser("table", help="render a paper table")
@@ -470,6 +551,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="service socket for --backend service "
                             f"(default: ${SOCKET_ENV} or "
                             "./repro-service.sock)")
+        p.add_argument("--profile", action="store_true",
+                       help="print per-phase wall-clock timings (trace "
+                            "build / columnize / simulate / cache IO) "
+                            "after the campaign; phases record in this "
+                            "process only, so profile serial local runs "
+                            "for the full picture")
 
     campaign_run_p = campaign_sub.add_parser(
         "run", help="execute a campaign (resumes automatically if a "
@@ -567,6 +654,51 @@ def build_parser() -> argparse.ArgumentParser:
                            "`repro submit --no-wait`")
     _socket_arg(results_p)
     results_p.set_defaults(fn=cmd_results)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="build, inspect or clear the persistent trace store",
+        description="Manage the content-addressed trace store "
+                    f"(--trace-dir or ${TRACE_DIR_ENV}).  Stored traces "
+                    "are packed numpy columns keyed by (workload, µops, "
+                    "seed) and generator version; any process pointed at "
+                    "the store mmap-loads them instead of re-running the "
+                    "generators, and the shared-memory trace plane fans "
+                    "them out to simulation workers.",
+    )
+    trace_sub = trace_p.add_subparsers(dest="action", required=True)
+
+    def _trace_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="trace store directory "
+                            f"(default: ${TRACE_DIR_ENV})")
+
+    trace_build_p = trace_sub.add_parser(
+        "build", help="pre-build traces into the store")
+    trace_build_p.add_argument("--workloads", required=True,
+                               help="comma-separated workloads (catalog or "
+                                    "scenario-c*-e*-l* names)")
+    trace_build_p.add_argument("--uops", type=int, default=DEFAULT_MEASURE,
+                               help="measured µops (the stored trace covers "
+                                    "warmup + uops)")
+    trace_build_p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    trace_build_p.add_argument("--seed", type=int, default=None,
+                               help="build seed (default: the workload's "
+                                    "catalog/scenario seed)")
+    _trace_dir_arg(trace_build_p)
+    trace_build_p.set_defaults(fn=cmd_trace)
+
+    trace_ls_p = trace_sub.add_parser(
+        "ls", help="list stored traces")
+    trace_ls_p.add_argument("--stats", action="store_true",
+                            help="append entry-count and byte totals")
+    _trace_dir_arg(trace_ls_p)
+    trace_ls_p.set_defaults(fn=cmd_trace)
+
+    trace_clear_p = trace_sub.add_parser(
+        "clear", help="delete every stored trace")
+    _trace_dir_arg(trace_clear_p)
+    trace_clear_p.set_defaults(fn=cmd_trace)
 
     cache_p = sub.add_parser(
         "cache",

@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.engine.job import SimJob
 from repro.pipeline.result import SimResult
+from repro.util import profiling
 
 #: Environment variable selecting the persistent cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -70,7 +71,8 @@ class ResultCache:
             path = self._path(key)
             if path.is_file():
                 try:
-                    entry = json.loads(path.read_text())
+                    with profiling.phase("result-cache-io"):
+                        entry = json.loads(path.read_text())
                 except (OSError, ValueError):
                     entry = None
                 if (
@@ -119,11 +121,12 @@ class ResultCache:
         # TypeError/ValueError cover results whose ``extra`` dict holds
         # values json can't encode.
         try:
-            path = self._path(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
-            os.replace(tmp, path)
+            with profiling.phase("result-cache-io"):
+                path = self._path(key)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(f".tmp.{os.getpid()}")
+                tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+                os.replace(tmp, path)
         except (OSError, TypeError, ValueError):
             pass
 

@@ -18,6 +18,7 @@ import multiprocessing
 import os
 
 from repro.engine.job import SimJob, execute_job
+from repro.engine.shm import SharedTraceRegistry, adopt_shared_trace, shm_enabled
 from repro.pipeline.result import SimResult
 
 #: Environment variable selecting the default parallelism.
@@ -41,8 +42,16 @@ class SerialExecutor:
         return "serial"
 
 
-def _execute_to_dict(job: SimJob) -> dict:
-    """Worker entry point: run one job, ship the result as a plain dict."""
+def _execute_shared_to_dict(item: tuple[SimJob, dict | None]) -> dict:
+    """Worker entry point with an optional shared-trace spec.
+
+    When the parent shipped the job's trace over the shared-memory plane,
+    adopt it into the local trace cache first so ``execute_job`` skips the
+    generator; adoption failure just falls back to a local build.
+    """
+    job, trace_spec = item
+    if trace_spec is not None:
+        adopt_shared_trace(trace_spec)
     return execute_job(job).to_dict()
 
 
@@ -53,6 +62,12 @@ class PoolExecutor:
     parent, so the transport is exactly the round-trip the unit tests pin
     as lossless.  ``chunksize=1`` keeps scheduling fair when job costs vary
     by orders of magnitude (oracle vs hybrid predictors).
+
+    Unless ``REPRO_SHM`` disables it, the parent materialises each unique
+    trace once (in-process cache → trace store → generator) and fans it
+    out to the workers through shared memory
+    (:mod:`repro.engine.shm`), instead of every worker re-running the
+    generator for every distinct trace its jobs touch.
     """
 
     def __init__(self, jobs: int):
@@ -70,8 +85,25 @@ class PoolExecutor:
         workers = min(self.jobs, len(jobs))
         if workers < 2:
             return SerialExecutor().run(jobs)
-        with ctx.Pool(processes=workers) as pool:
-            payloads = pool.map(_execute_to_dict, jobs, chunksize=1)
+        registry = SharedTraceRegistry() if shm_enabled() else None
+        try:
+            items: list[tuple[SimJob, dict | None]] = []
+            if registry is not None:
+                specs: dict[tuple, dict | None] = {}
+                for job in jobs:
+                    ident = (job.workload, job.warmup + job.n_uops, job.seed)
+                    if ident not in specs:
+                        leased = registry.lease(*ident)
+                        specs[ident] = leased[1] if leased else None
+                    items.append((job, specs[ident]))
+            else:
+                items = [(job, None) for job in jobs]
+            with ctx.Pool(processes=workers) as pool:
+                payloads = pool.map(_execute_shared_to_dict, items,
+                                    chunksize=1)
+        finally:
+            if registry is not None:
+                registry.close()
         return [SimResult.from_dict(payload) for payload in payloads]
 
     def describe(self) -> str:

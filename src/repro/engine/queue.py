@@ -38,6 +38,12 @@ from dataclasses import dataclass, field
 from repro.engine.cache import ResultCache
 from repro.engine.checkpoint import CampaignJournal
 from repro.engine.job import SimJob, execute_job
+from repro.engine.shm import (
+    NEEDS_GENERATION,
+    SharedTraceRegistry,
+    adopt_shared_trace,
+    prepare_trace,
+)
 from repro.pipeline.result import SimResult
 
 #: Seconds between watchdog sweeps for dead workers.
@@ -72,15 +78,20 @@ def _mp_context():
 def _worker_main(worker_id: int, task_q, result_q) -> None:
     """Worker process entry: execute jobs until the ``None`` sentinel.
 
-    Job exceptions are reported as ``error`` messages instead of killing
-    the worker — a malformed spec must not cost a pool slot.
+    Tasks may carry a shared-trace spec (:mod:`repro.engine.shm`): the
+    worker adopts the parent-materialised trace into its local cache
+    before executing, falling back to a local build on any failure.  Job
+    exceptions are reported as ``error`` messages instead of killing the
+    worker — a malformed spec must not cost a pool slot.
     """
     while True:
         item = task_q.get()
         if item is None:
             return
-        task_id, job_dict = item
+        task_id, job_dict, trace_spec = item
         try:
+            if trace_spec is not None:
+                adopt_shared_trace(trace_spec)
             payload = execute_job(SimJob.from_dict(job_dict)).to_dict()
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             result_q.put(("error", worker_id, task_id,
@@ -101,7 +112,10 @@ class _Worker:
     def __init__(self, ctx, worker_id: int, result_q):
         self.id = worker_id
         self.task_q = ctx.Queue()
-        self.current: tuple[int, dict] | None = None
+        # (task_id, job_dict, lease_key): the lease key (or None) names the
+        # shared-trace segment this assignment holds a reference on, so
+        # whoever clears the assignment also releases the lease.
+        self.current: tuple[int, dict, tuple | None] | None = None
         self.process = ctx.Process(
             target=_worker_main,
             args=(worker_id, self.task_q, result_q),
@@ -116,10 +130,12 @@ class _Worker:
     def alive(self) -> bool:
         return self.process.is_alive()
 
-    def assign(self, task_id: int, job_dict: dict) -> None:
+    def assign(self, task_id: int, job_dict: dict,
+               trace_spec: dict | None = None,
+               lease_key: tuple | None = None) -> None:
         assert self.current is None, "worker already holds a task"
-        self.current = (task_id, job_dict)
-        self.task_q.put((task_id, job_dict))
+        self.current = (task_id, job_dict, lease_key)
+        self.task_q.put((task_id, job_dict, trace_spec))
 
     def describe(self) -> dict:
         """Status row for the service ``status`` op."""
@@ -168,14 +184,16 @@ class WorkerPool:
     def worker_pids(self) -> list[int]:
         return [w.pid for w in self._workers if w.pid is not None]
 
-    def reap_dead(self) -> list[tuple[int, dict]]:
-        """Replace dead workers; return the tasks they were holding.
+    def reap_dead(self) -> list[tuple[int, dict, tuple | None]]:
+        """Replace dead workers; return the assignments they were holding
+        (``(task_id, job_dict, lease_key)`` — the caller requeues the task
+        and releases the shared-trace lease).
 
         Worker ids are never reused, so a completion message a worker
         managed to send just before dying can still be attributed (and a
         stale one can never be mistaken for the replacement's work).
         """
-        orphaned: list[tuple[int, dict]] = []
+        orphaned: list[tuple[int, dict, tuple | None]] = []
         for slot, worker in enumerate(self._workers):
             if worker.alive():
                 continue
@@ -254,6 +272,14 @@ class JobQueue:
         self.cache = cache if cache is not None else ResultCache(None)
         self.journal = journal
         self.stats = QueueStats()
+        # Shared-memory trace plane: the daemon materialises each unique
+        # trace once and leases read-only segments to worker assignments
+        # (disabled or failing, workers just build locally).  Generator
+        # runs happen off the event loop: tasks whose trace needs building
+        # wait in _pending while a thread prepares it (_preparing keys).
+        self.traces = SharedTraceRegistry()
+        self._preparing: set[tuple] = set()
+        self._prepare_failed: set[tuple] = set()
         self._tasks: dict[int, _Task] = {}
         self._inflight: dict[str, int] = {}   # content key -> task id
         self._pending: deque[int] = deque()
@@ -285,6 +311,7 @@ class JobQueue:
                 pass
             self._watchdog = None
         self.pool.stop()
+        self.traces.close()
         if self._drain is not None:
             self._drain.join(timeout=2 * DRAIN_POLL + 1.0)
             self._drain = None
@@ -356,20 +383,87 @@ class JobQueue:
             "pending": len(self._pending),
             "restarts": self.pool.restarts,
             "stats": self.stats.to_dict(),
+            "traces": self.traces.stats(),
         }
 
     # -- dispatch / completion ------------------------------------------
 
     def _feed(self) -> None:
-        """Hand pending tasks to idle workers (FIFO)."""
+        """Hand pending tasks to idle workers (FIFO).
+
+        Each assignment leases the job's trace from the shared-memory
+        plane; the lease is released when the assignment clears —
+        completion, error or worker death.  Leases that would require a
+        *generator run* are not served on the event loop: the task is
+        deferred (keeping its queue position) while :func:`prepare_trace`
+        builds the trace on the default thread-pool executor, and the
+        completion callback seeds the cache and re-feeds.  The loop — and
+        every other client's ping/submit/status — stays responsive while
+        cold traces build.
+        """
         idle = self.pool.idle_workers()
+        deferred: list[int] = []
         while self._pending and idle:
             task_id = self._pending.popleft()
             task = self._tasks.get(task_id)
             if task is None or task.future.done():
                 # Resolved while queued (stale completion after a requeue).
                 continue
-            idle.pop().assign(task_id, task.job.to_dict())
+            job = task.job
+            leased = self.traces.lease(job.workload,
+                                       job.warmup + job.n_uops, job.seed,
+                                       generate=False)
+            if leased is NEEDS_GENERATION:
+                ident = self._job_ident(job)
+                if ident is not None and ident not in self._prepare_failed:
+                    self._start_prepare(ident)
+                    deferred.append(task_id)
+                    continue
+                leased = None  # preparation failed before: dispatch bare
+            lease_key, spec = leased if leased is not None else (None, None)
+            idle.pop().assign(task_id, job.to_dict(), spec, lease_key)
+        for task_id in reversed(deferred):
+            self._pending.appendleft(task_id)
+
+    @staticmethod
+    def _job_ident(job: SimJob) -> tuple | None:
+        """The trace identity a job simulates, or ``None`` if unknowable."""
+        from repro.workloads.catalog import resolve_seed
+
+        try:
+            return (job.workload, job.warmup + job.n_uops,
+                    resolve_seed(job.workload, job.seed))
+        except KeyError:
+            return None
+
+    def _start_prepare(self, ident: tuple) -> None:
+        """Build one trace identity on the thread-pool executor (once)."""
+        from repro.workloads.catalog import seed_trace
+
+        if ident in self._preparing:
+            return
+        self._preparing.add(ident)
+
+        def _done(future) -> None:
+            # Runs on the event loop: installing into the catalog cache
+            # (and re-feeding) stays single-threaded.
+            self._preparing.discard(ident)
+            trace = None if future.cancelled() else future.result()
+            if trace is not None:
+                seed_trace(ident[0], ident[1], ident[2], trace)
+            else:
+                # prepare_trace swallowed the real error; the bare
+                # dispatch below lets the worker raise it properly.
+                self.traces.failures += 1
+                self._prepare_failed.add(ident)
+            if not self._stopping:
+                self._feed()
+
+        # run_in_executor returns an asyncio.Future: done callbacks are
+        # already marshalled onto the loop.
+        self._loop.run_in_executor(
+            None, prepare_trace, ident[0], ident[1], ident[2]
+        ).add_done_callback(_done)
 
     def _drain_loop(self) -> None:
         """Forward worker completions onto the event loop (thread body)."""
@@ -400,7 +494,10 @@ class JobQueue:
         worker = self.pool.worker(worker_id)
         if worker is not None and worker.current is not None \
                 and worker.current[0] == task_id:
+            lease_key = worker.current[2]
             worker.current = None
+            if lease_key is not None:
+                self.traces.release(lease_key)
         task = self._tasks.pop(task_id, None)
         if task is None:
             # Duplicate completion: the job finished once on a worker that
@@ -424,11 +521,18 @@ class JobQueue:
         self._feed()
 
     async def _watch(self) -> None:
-        """Requeue jobs orphaned by worker deaths; spawn replacements."""
+        """Requeue jobs orphaned by worker deaths; spawn replacements.
+
+        A dead worker's shared-trace lease is released here — the segment
+        usually stays resident (idle LRU) so the respawned assignment's
+        re-lease is a pure reuse, not a rebuild.
+        """
         while True:
             await asyncio.sleep(WATCHDOG_INTERVAL)
             orphaned = self.pool.reap_dead()
-            for task_id, _job_dict in orphaned:
+            for task_id, _job_dict, lease_key in orphaned:
+                if lease_key is not None:
+                    self.traces.release(lease_key)
                 if task_id in self._tasks:
                     self.stats.requeued += 1
                     self._pending.appendleft(task_id)

@@ -1,0 +1,288 @@
+"""Shared-memory trace plane: materialise once, attach everywhere.
+
+Before PR 5 every worker process rebuilt each trace from its generator —
+per process, per batch, per daemon restart — because job payloads carry
+only the :class:`~repro.engine.job.SimJob` spec.  This module gives the
+parent (batch :class:`~repro.engine.executors.PoolExecutor` run or
+``repro serve`` daemon) a :class:`SharedTraceRegistry`: each unique
+``(workload, total µops, seed)`` trace is materialised **once** (from the
+in-process cache, the on-disk trace store, or the generator), its packed
+columns are laid into one ``multiprocessing.shared_memory`` segment, and
+workers receive a small *spec* dict naming the segment instead of
+rebuilding.  :func:`adopt_shared_trace` on the worker side attaches the
+segment, copies the packed bytes out (a memcpy, ~3 MB for a 48k-µop
+trace, versus ~250 ms of generator time), seeds the worker's trace cache
+and closes the segment — so segment lifetime is bounded by job transport,
+not worker lifetime, and a worker killed mid-copy can never strand a
+mapping the parent doesn't know about.
+
+Lifecycle: the registry refcounts **leases** (one per in-flight
+assignment).  Segments with live leases are pinned; at refcount zero they
+move to an idle LRU bounded by a byte budget, so a long-lived daemon
+reuses hot segments across submissions without unbounded ``/dev/shm``
+growth.  ``close()`` unlinks everything regardless of refcounts — the
+pool-shutdown path — and the queue's watchdog releases a dead worker's
+lease when it requeues the orphaned job.
+
+Everything here is best-effort: any failure (no ``/dev/shm``, size limit,
+a torn segment) degrades to the worker building the trace itself, which
+is always correct.  ``REPRO_SHM=0`` disables the plane outright (the
+benchmark uses that to measure the legacy behaviour).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from multiprocessing import shared_memory
+
+from repro.isa.trace import PackedColumns, Trace
+
+#: Environment variable gating the shared-memory plane (``0``/``off``
+#: disables it; anything else, including unset, enables it).
+SHM_ENV = "REPRO_SHM"
+
+#: Default byte budget for *idle* (unleased) segments kept for reuse.
+IDLE_BYTES_BUDGET = 256 * 1024 * 1024
+
+#: Returned by :meth:`SharedTraceRegistry.lease` with ``generate=False``
+#: when serving the lease would require running a generator: the caller
+#: should run :func:`prepare_trace` off its latency-sensitive thread and
+#: lease again once it completes.
+NEEDS_GENERATION = object()
+
+
+def shm_enabled() -> bool:
+    """Whether the shared-memory trace plane is enabled (``$REPRO_SHM``)."""
+    return os.environ.get(SHM_ENV, "").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+class _Segment:
+    """One shared trace: its segment, transport spec and lease count."""
+
+    __slots__ = ("shm", "spec", "nbytes", "leases")
+
+    def __init__(self, shm, spec: dict, nbytes: int):
+        self.shm = shm
+        self.spec = spec
+        self.nbytes = nbytes
+        self.leases = 0
+
+
+class SharedTraceRegistry:
+    """Parent-side owner of the shared trace segments.
+
+    Not thread-safe by design: the pool executor uses it from one thread
+    and the job queue only ever touches it on the event loop.
+    """
+
+    def __init__(self, idle_bytes: int = IDLE_BYTES_BUDGET):
+        self.idle_bytes = idle_bytes
+        self._segments: dict[tuple[str, int, int], _Segment] = {}
+        self._idle: OrderedDict[tuple[str, int, int], None] = OrderedDict()
+        self.shared = 0     # leases handed out
+        self.materialized = 0  # segments created
+        self.failures = 0   # materialisation failures (degraded to rebuild)
+        self._closed = False
+
+    # -- leasing ---------------------------------------------------------
+
+    def lease(self, workload: str, total_uops: int, seed: int | None = None,
+              generate: bool = True):
+        """Lease the shared segment for one trace identity.
+
+        Returns ``(lease_key, spec_dict)`` — the spec is what travels to
+        the worker; the key releases the lease — or ``None`` when the
+        plane is unavailable (disabled, closed, or materialisation
+        failed), in which case the caller just ships the job bare.
+
+        With ``generate=False`` a lease that would have to run a trace
+        generator returns :data:`NEEDS_GENERATION` instead: segments are
+        still materialised from the in-process cache or the trace store
+        (both cheap), but generator runs are left to the caller via
+        :func:`prepare_trace` — the job queue uses this to keep
+        multi-hundred-millisecond builds off the daemon's event loop.
+        """
+        if self._closed or not shm_enabled():
+            return None
+        # Imported here: catalog sits on the workloads layer above isa and
+        # must stay importable without the engine.
+        from repro.workloads.catalog import resolve_seed
+
+        try:
+            key = (workload, total_uops, resolve_seed(workload, seed))
+        except KeyError:
+            return None  # unknown workload: let the worker raise properly
+        segment = self._segments.get(key)
+        if segment is None:
+            if not generate and not self._cheaply_available(key):
+                return NEEDS_GENERATION
+            segment = self._materialize(key)
+            if segment is None:
+                return None
+        segment.leases += 1
+        self._idle.pop(key, None)
+        self.shared += 1
+        return key, segment.spec
+
+    @staticmethod
+    def _cheaply_available(key: tuple) -> bool:
+        """Whether this trace can be materialised without a generator run
+        (already in the process cache, or present in the trace store)."""
+        from repro.workloads.catalog import cached_trace
+        from repro.workloads.store import default_trace_store
+
+        workload, total_uops, seed = key
+        if cached_trace(workload, total_uops, seed) is not None:
+            return True
+        store = default_trace_store()
+        return store is not None and store.contains(workload, total_uops, seed)
+
+    def release(self, key: tuple) -> None:
+        """Return one lease; idle segments join the bounded reuse LRU."""
+        segment = self._segments.get(key)
+        if segment is None:
+            return
+        if segment.leases > 0:
+            segment.leases -= 1
+        if segment.leases == 0 and not self._closed:
+            self._idle[key] = None
+            self._idle.move_to_end(key)
+            self._evict_idle()
+
+    def _materialize(self, key: tuple) -> _Segment | None:
+        from repro.workloads.catalog import build_trace
+
+        workload, total_uops, seed = key
+        try:
+            trace = build_trace(workload, total_uops, seed=seed)
+            packed = trace.packed()
+            layout, total_bytes = packed.buffer_layout()
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, total_bytes)
+            )
+            try:
+                packed.write_into(shm.buf)
+            except Exception:
+                shm.close()
+                shm.unlink()
+                raise
+        except Exception:  # noqa: BLE001 - any shm/IO failure degrades
+            self.failures += 1
+            return None
+        spec = {
+            "shm": shm.name,
+            "workload": workload,
+            "total_uops": total_uops,
+            "seed": seed,
+            "n": packed.n,
+            "layout": layout,
+        }
+        segment = _Segment(shm, spec, total_bytes)
+        self._segments[key] = segment
+        self.materialized += 1
+        return segment
+
+    def _evict_idle(self) -> None:
+        idle_total = sum(self._segments[k].nbytes for k in self._idle)
+        while self._idle and idle_total > self.idle_bytes:
+            key, _ = self._idle.popitem(last=False)
+            segment = self._segments.pop(key)
+            idle_total -= segment.nbytes
+            self._destroy(segment)
+
+    @staticmethod
+    def _destroy(segment: _Segment) -> None:
+        try:
+            segment.shm.close()
+            segment.shm.unlink()
+        except OSError:
+            pass
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every segment (pool shutdown); leases are moot now."""
+        self._closed = True
+        for segment in self._segments.values():
+            self._destroy(segment)
+        self._segments.clear()
+        self._idle.clear()
+
+    def stats(self) -> dict:
+        """Occupancy and lifetime counters (surfaced by ``repro status``)."""
+        return {
+            "segments": len(self._segments),
+            "bytes": sum(s.nbytes for s in self._segments.values()),
+            "leased": sum(1 for s in self._segments.values() if s.leases),
+            "materialized": self.materialized,
+            "shared": self.shared,
+            "failures": self.failures,
+        }
+
+
+def prepare_trace(workload: str, total_uops: int,
+                  seed: int | None = None) -> "object | None":
+    """Generate (and persist) one trace without touching shared state.
+
+    Runs the generator with the process cache bypassed, columnizes, and
+    writes the result to the trace store when one is configured — all
+    safe from a worker thread, since nothing here mutates the catalog's
+    LRU or the registry.  The caller (on its own thread/loop) installs
+    the returned trace with :func:`repro.workloads.catalog.seed_trace`,
+    after which a registry lease materialises from the cache.  Returns
+    ``None`` on any failure.
+    """
+    try:
+        from repro.workloads.catalog import build_trace, resolve_seed
+        from repro.workloads.store import default_trace_store
+
+        trace = build_trace(workload, total_uops, seed=seed, cache=False)
+        trace.columns()
+        store = default_trace_store()
+        if store is not None:
+            store.put(trace, workload, total_uops,
+                      resolve_seed(workload, seed))
+        return trace
+    except Exception:  # noqa: BLE001 - caller degrades to bare dispatch
+        return None
+
+
+def adopt_shared_trace(spec: dict) -> bool:
+    """Worker-side: install the trace named by *spec* into the local cache.
+
+    Attaches the parent's segment, copies the packed columns out, closes
+    the segment, and seeds the worker's trace cache so the subsequent
+    ``execute_job`` → ``build_trace`` call hits.  Returns ``True`` on
+    success; any failure returns ``False`` and the worker falls back to
+    building the trace itself (correct either way, just slower).
+    """
+    try:
+        from repro.workloads.catalog import cached_trace, seed_trace
+
+        workload = spec["workload"]
+        total_uops = spec["total_uops"]
+        seed = spec["seed"]
+        if cached_trace(workload, total_uops, seed) is not None:
+            return True  # e.g. fork-inherited from the parent's cache
+        # Note on the resource tracker: attaching re-registers the segment,
+        # but workers share the owning parent's tracker process, so the
+        # registration set dedupes and the parent's unlink unregisters it
+        # exactly once — attachers must NOT unregister themselves (that
+        # would strip the owner's registration and break crash cleanup).
+        shm = shared_memory.SharedMemory(name=spec["shm"])
+        try:
+            packed = PackedColumns.from_buffer(
+                shm.buf, spec["layout"], spec["n"], copy=True
+            )
+        finally:
+            shm.close()
+        packed.validate()
+        trace = Trace.from_packed(packed, name=workload)
+        trace.columns()
+        seed_trace(workload, total_uops, seed, trace)
+        return True
+    except Exception:  # noqa: BLE001 - degrade to a local rebuild
+        return False

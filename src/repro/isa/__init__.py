@@ -15,14 +15,25 @@ from repro.isa.uop import (
     is_fp_class,
     is_mem_class,
 )
-from repro.isa.trace import Trace, TraceStats
+from repro.isa.trace import (
+    COLUMN_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    PackedColumns,
+    Trace,
+    TraceColumns,
+    TraceStats,
+)
 
 __all__ = [
+    "COLUMN_SCHEMA",
     "FP_REGS",
     "INT_REGS",
     "MicroOp",
     "OpClass",
+    "PackedColumns",
+    "TRACE_SCHEMA_VERSION",
     "Trace",
+    "TraceColumns",
     "TraceStats",
     "is_fp_class",
     "is_mem_class",

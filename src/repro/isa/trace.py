@@ -1,15 +1,26 @@
-"""Trace container and summary statistics.
+"""Trace container, packed columnar storage and summary statistics.
 
 A :class:`Trace` is an ordered list of correct-path µops plus a little
 metadata about the workload that produced it.  Traces support slicing into
 warm-up and measurement regions, mirroring the paper's methodology of warming
 all structures before collecting statistics (Section 7.3).
+
+PR 5 adds the **packed representation** underneath: every trace can be
+lowered to :class:`PackedColumns`, a fixed-schema set of flat numpy arrays
+(:data:`COLUMN_SCHEMA`) that fully describes the µop stream.  The packed
+form is what the on-disk trace store persists (mmap-able ``.npy`` files,
+see :mod:`repro.workloads.store`) and what the shared-memory trace plane
+ships to worker processes (:mod:`repro.engine.shm`); µop objects and the
+scheduler-facing list columns are *views* derived from it on demand, so a
+loaded or attached trace never re-runs its generator.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.isa.uop import MicroOp, OpClass
 from repro.util.bits import MASK64
@@ -19,10 +30,204 @@ _LINE_SHIFT = 6  # 64-byte I-cache lines (mirrors pipeline/core.py)
 _CTRL_CLASSES = frozenset(
     {OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RET}
 )
+_CTRL_INTS = tuple(sorted(int(c) for c in _CTRL_CLASSES))
+_BRANCH_INT = int(OpClass.BRANCH)
+_LOAD_INT = int(OpClass.LOAD)
+_STORE_INT = int(OpClass.STORE)
+
+#: Bump when the packed layout below changes shape or meaning; part of the
+#: trace store's content key, so stale on-disk entries are never misread.
+TRACE_SCHEMA_VERSION = 1
+
+#: The packed column schema: ``(name, numpy dtype)`` in canonical order.
+#: ``src_offsets`` has ``n + 1`` entries (CSR row pointers into
+#: ``src_flat``); every other column has one entry per µop.  ``dsts`` uses
+#: ``-1`` for "no destination"; ``mem_valid`` distinguishes a real address
+#: of 0 from "not a memory op".  Values, PCs, addresses and targets are
+#: stored masked to 64 bits (the builders already emit them masked).
+COLUMN_SCHEMA = (
+    ("seqs", "int64"),
+    ("pcs", "uint64"),
+    ("uop_indexes", "uint32"),
+    ("ops", "uint8"),
+    ("dsts", "int16"),
+    ("values", "uint64"),
+    ("mem_addrs", "uint64"),
+    ("mem_valid", "bool"),
+    ("mem_sizes", "uint16"),
+    ("takens", "bool"),
+    ("targets", "uint64"),
+    ("dst_is_fp", "bool"),
+    ("src_offsets", "int64"),
+    ("src_flat", "int16"),
+)
+
+
+class PackedColumns:
+    """A trace lowered to the fixed numpy schema of :data:`COLUMN_SCHEMA`.
+
+    This is the canonical at-rest/in-transit form of a trace: a dict of
+    flat arrays that round-trips exactly to the µop list (pinned by
+    ``tests/unit/test_trace_columns.py``), serialises as plain ``.npy``
+    files, and can be laid into one contiguous buffer for shared-memory
+    transport (:meth:`buffer_layout` / :meth:`write_into` /
+    :meth:`from_buffer`).
+    """
+
+    __slots__ = ("n", "arrays")
+
+    def __init__(self, n: int, arrays: dict[str, np.ndarray]):
+        self.n = n
+        self.arrays = arrays
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_uops(cls, uops: list[MicroOp]) -> "PackedColumns":
+        """Pack a µop list into the columnar schema."""
+        n = len(uops)
+        arrays: dict[str, np.ndarray] = {}
+        arrays["seqs"] = np.fromiter((u.seq for u in uops),
+                                     dtype=np.int64, count=n)
+        arrays["pcs"] = np.fromiter((u.pc & MASK64 for u in uops),
+                                    dtype=np.uint64, count=n)
+        arrays["uop_indexes"] = np.fromiter((u.uop_index for u in uops),
+                                            dtype=np.uint32, count=n)
+        arrays["ops"] = np.fromiter((int(u.op_class) for u in uops),
+                                    dtype=np.uint8, count=n)
+        arrays["dsts"] = np.fromiter(
+            (u.dst if u.dst is not None else -1 for u in uops),
+            dtype=np.int16, count=n)
+        arrays["values"] = np.fromiter((u.value & MASK64 for u in uops),
+                                       dtype=np.uint64, count=n)
+        arrays["mem_addrs"] = np.fromiter(
+            ((u.mem_addr & MASK64) if u.mem_addr is not None else 0
+             for u in uops),
+            dtype=np.uint64, count=n)
+        arrays["mem_valid"] = np.fromiter(
+            (u.mem_addr is not None for u in uops), dtype=np.bool_, count=n)
+        arrays["mem_sizes"] = np.fromiter((u.mem_size for u in uops),
+                                          dtype=np.uint16, count=n)
+        arrays["takens"] = np.fromiter((u.taken for u in uops),
+                                       dtype=np.bool_, count=n)
+        arrays["targets"] = np.fromiter((u.target & MASK64 for u in uops),
+                                        dtype=np.uint64, count=n)
+        arrays["dst_is_fp"] = np.fromiter((u.dst_is_fp for u in uops),
+                                          dtype=np.bool_, count=n)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.fromiter((len(u.srcs) for u in uops),
+                              dtype=np.int64, count=n),
+                  out=offsets[1:])
+        arrays["src_offsets"] = offsets
+        arrays["src_flat"] = np.fromiter(
+            (reg for u in uops for reg in u.srcs),
+            dtype=np.int16, count=int(offsets[-1]))
+        return cls(n, arrays)
+
+    def to_uops(self) -> list[MicroOp]:
+        """Rebuild the µop objects (dataclass-equal to the packed source)."""
+        a = self.arrays
+        seqs = a["seqs"].tolist()
+        pcs = a["pcs"].tolist()
+        uop_indexes = a["uop_indexes"].tolist()
+        ops = a["ops"].tolist()
+        dsts = a["dsts"].tolist()
+        values = a["values"].tolist()
+        mem_addrs = a["mem_addrs"].tolist()
+        mem_valid = a["mem_valid"].tolist()
+        mem_sizes = a["mem_sizes"].tolist()
+        takens = a["takens"].tolist()
+        targets = a["targets"].tolist()
+        dst_is_fp = a["dst_is_fp"].tolist()
+        offsets = a["src_offsets"].tolist()
+        flat = a["src_flat"].tolist()
+        return [
+            MicroOp(
+                seq=seqs[i],
+                pc=pcs[i],
+                uop_index=uop_indexes[i],
+                op_class=OpClass(ops[i]),
+                srcs=tuple(flat[offsets[i]:offsets[i + 1]]),
+                dst=dsts[i] if dsts[i] >= 0 else None,
+                value=values[i],
+                mem_addr=mem_addrs[i] if mem_valid[i] else None,
+                mem_size=mem_sizes[i],
+                taken=takens[i],
+                target=targets[i],
+                dst_is_fp=dst_is_fp[i],
+            )
+            for i in range(self.n)
+        ]
+
+    # -- buffer transport (shared memory) --------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across all columns (no alignment padding)."""
+        return sum(arr.nbytes for arr in self.arrays.values())
+
+    def buffer_layout(self) -> tuple[list[list], int]:
+        """``([[name, dtype, length, offset], ...], total_bytes)`` for one
+        contiguous buffer holding every column, offsets 16-byte aligned."""
+        layout: list[list] = []
+        offset = 0
+        for name, dtype in COLUMN_SCHEMA:
+            arr = self.arrays[name]
+            offset = (offset + 15) & ~15
+            layout.append([name, dtype, int(arr.shape[0]), offset])
+            offset += arr.nbytes
+        return layout, offset
+
+    def write_into(self, buf) -> tuple[list[list], int]:
+        """Copy every column into *buf* (a writable buffer); returns the
+        layout that :meth:`from_buffer` needs to read it back."""
+        layout, total = self.buffer_layout()
+        for name, dtype, length, offset in layout:
+            view = np.ndarray((length,), dtype=dtype, buffer=buf,
+                              offset=offset)
+            view[:] = self.arrays[name]
+        return layout, total
+
+    @classmethod
+    def from_buffer(cls, buf, layout: list, n: int,
+                    copy: bool = True) -> "PackedColumns":
+        """Reconstruct packed columns from a buffer written by
+        :meth:`write_into`.
+
+        With ``copy=True`` (the worker-attach default) each column is
+        copied out so the caller may close the underlying segment
+        immediately; ``copy=False`` returns zero-copy views whose lifetime
+        is the buffer's.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for name, dtype, length, offset in layout:
+            view = np.ndarray((int(length),), dtype=dtype, buffer=buf,
+                              offset=int(offset))
+            arrays[name] = view.copy() if copy else view
+        return cls(int(n), arrays)
+
+    def validate(self) -> None:
+        """Check schema integrity; raises ``ValueError`` on any mismatch."""
+        names = [name for name, _ in COLUMN_SCHEMA]
+        if sorted(self.arrays) != sorted(names):
+            raise ValueError("packed columns do not match COLUMN_SCHEMA")
+        for name, dtype in COLUMN_SCHEMA:
+            arr = self.arrays[name]
+            if arr.dtype != np.dtype(dtype):
+                raise ValueError(f"column {name}: dtype {arr.dtype} != {dtype}")
+            if name == "src_offsets":
+                if arr.shape != (self.n + 1,):
+                    raise ValueError("src_offsets length != n + 1")
+            elif name == "src_flat":
+                expected = int(self.arrays["src_offsets"][-1]) if self.n else 0
+                if arr.shape != (expected,):
+                    raise ValueError("src_flat length != src_offsets[-1]")
+            elif arr.shape != (self.n,):
+                raise ValueError(f"column {name}: length {arr.shape} != n")
 
 
 class TraceColumns:
-    """Flat parallel arrays of the per-µop fields the scheduler consumes.
+    """Flat parallel lists of the per-µop fields the scheduler consumes.
 
     The cycle model's inner loop used to re-derive these per µop — three
     ``predictor_key()`` calls per eligible µop, a property call per flag, a
@@ -30,6 +235,16 @@ class TraceColumns:
     trace* so the hot loop is pure list indexing.  Ops are stored as plain
     ``int``s (not :class:`OpClass` members) so dispatch tables can be flat
     lists.
+
+    Since PR 5 the columns are *derived from the packed numpy
+    representation* (:class:`PackedColumns`): construction packs first,
+    then materialises the list views with vectorised numpy expressions +
+    ``tolist()``.  The list-facing API (and every value in it) is
+    bit-identical to the original pure-list implementation — pinned
+    against a reference reimplementation by
+    ``tests/unit/test_trace_columns.py`` and end-to-end by the golden
+    grid — so the scheduler loop is unchanged whether a trace was
+    generated, mmap-loaded or shared-memory-attached.
     """
 
     __slots__ = (
@@ -44,34 +259,51 @@ class TraceColumns:
         "mem_addrs",
         "mem_sizes",
         "takens",
+        "targets",
         "dst_is_fp",
         "is_branch",
         "is_cond_branch",
         "produces_value",
         "pkeys",
+        "packed",
     )
 
-    def __init__(self, uops: list[MicroOp]):
-        branch = OpClass.BRANCH
-        ctrl = _CTRL_CLASSES
-        self.n = len(uops)
-        self.seqs = [u.seq for u in uops]
-        self.pcs = [u.pc for u in uops]
-        self.pc_lines = [u.pc >> _LINE_SHIFT for u in uops]
-        self.ops = [int(u.op_class) for u in uops]
-        self.srcs = [u.srcs for u in uops]
-        self.dsts = [u.dst for u in uops]
-        self.values = [u.value for u in uops]
-        self.mem_addrs = [u.mem_addr for u in uops]
-        self.mem_sizes = [u.mem_size for u in uops]
-        self.takens = [u.taken for u in uops]
-        self.dst_is_fp = [u.dst_is_fp for u in uops]
-        self.is_branch = [u.op_class in ctrl for u in uops]
-        self.is_cond_branch = [u.op_class is branch for u in uops]
-        self.produces_value = [
-            u.dst is not None and u.op_class not in ctrl for u in uops
+    def __init__(self, uops: list[MicroOp],
+                 packed: PackedColumns | None = None):
+        if packed is None:
+            packed = PackedColumns.from_uops(uops)
+        self.packed = packed
+        a = packed.arrays
+        self.n = packed.n
+        self.seqs = a["seqs"].tolist()
+        self.pcs = a["pcs"].tolist()
+        self.pc_lines = (a["pcs"] >> np.uint64(_LINE_SHIFT)).tolist()
+        self.ops = a["ops"].tolist()
+        flat = a["src_flat"].tolist()
+        offsets = a["src_offsets"].tolist()
+        self.srcs = [tuple(flat[offsets[i]:offsets[i + 1]])
+                     for i in range(self.n)]
+        dsts = a["dsts"]
+        self.dsts = [d if d >= 0 else None for d in dsts.tolist()]
+        self.values = a["values"].tolist()
+        mem_valid = a["mem_valid"]
+        self.mem_addrs = [
+            addr if valid else None
+            for addr, valid in zip(a["mem_addrs"].tolist(),
+                                   mem_valid.tolist())
         ]
-        self.pkeys = [((u.pc << 2) ^ u.uop_index) & MASK64 for u in uops]
+        self.mem_sizes = a["mem_sizes"].tolist()
+        self.takens = a["takens"].tolist()
+        self.targets = a["targets"].tolist()
+        self.dst_is_fp = a["dst_is_fp"].tolist()
+        ops = a["ops"]
+        is_branch = np.isin(ops, _CTRL_INTS)
+        self.is_branch = is_branch.tolist()
+        self.is_cond_branch = (ops == _BRANCH_INT).tolist()
+        self.produces_value = ((dsts >= 0) & ~is_branch).tolist()
+        self.pkeys = (
+            (a["pcs"] << np.uint64(2)) ^ a["uop_indexes"].astype(np.uint64)
+        ).tolist()
 
 
 @dataclass(slots=True)
@@ -97,20 +329,47 @@ class TraceStats:
 
 
 class Trace:
-    """An ordered, indexable sequence of µops with workload metadata."""
+    """An ordered, indexable sequence of µops with workload metadata.
+
+    Backed by either a µop list (freshly generated traces), a
+    :class:`PackedColumns` (store-loaded / shared-memory-attached traces,
+    see :meth:`from_packed`), or both; whichever half is missing is
+    materialised lazily and cached.  Traces are treated as immutable once
+    simulated — the workload catalog caches them on exactly that
+    assumption — but :meth:`append`/:meth:`extend` stay supported for
+    builders and invalidate the derived forms.
+    """
 
     def __init__(self, uops: list[MicroOp] | None = None, name: str = "anonymous"):
         self.name = name
-        self._uops: list[MicroOp] = uops if uops is not None else []
+        self._uops: list[MicroOp] | None = uops if uops is not None else []
+        self._packed: PackedColumns | None = None
         self._columns: TraceColumns | None = None
 
+    @classmethod
+    def from_packed(cls, packed: PackedColumns, name: str = "anonymous") -> "Trace":
+        """Wrap an already-packed trace; µops materialise only on demand."""
+        trace = cls(uops=None, name=name)
+        trace._uops = None
+        trace._packed = packed
+        return trace
+
     def append(self, uop: MicroOp) -> None:
-        self._uops.append(uop)
+        self.uops.append(uop)
+        self._packed = None
         self._columns = None
 
     def extend(self, uops: list[MicroOp]) -> None:
-        self._uops.extend(uops)
+        self.uops.extend(uops)
+        self._packed = None
         self._columns = None
+
+    def packed(self) -> PackedColumns:
+        """The packed numpy form of this trace, built once and cached."""
+        packed = self._packed
+        if packed is None or packed.n != len(self):
+            packed = self._packed = PackedColumns.from_uops(self._uops)
+        return packed
 
     def columns(self) -> TraceColumns:
         """The columnar view of this trace, built once and cached.
@@ -121,40 +380,54 @@ class Trace:
         them on exactly that assumption).
         """
         cols = self._columns
-        if cols is None or cols.n != len(self._uops):
-            cols = self._columns = TraceColumns(self._uops)
+        if cols is None or cols.n != len(self):
+            cols = self._columns = TraceColumns(self._uops,
+                                               packed=self.packed())
         return cols
 
+    @property
+    def nbytes(self) -> int:
+        """Packed size in bytes (the trace cache's budget currency)."""
+        return self.packed().nbytes
+
     def __len__(self) -> int:
-        return len(self._uops)
+        if self._uops is not None:
+            return len(self._uops)
+        return self._packed.n
 
     def __iter__(self):
-        return iter(self._uops)
+        return iter(self.uops)
 
     def __getitem__(self, item):
         if isinstance(item, slice):
-            return Trace(self._uops[item], name=self.name)
-        return self._uops[item]
+            return Trace(self.uops[item], name=self.name)
+        return self.uops[item]
 
     @property
     def uops(self) -> list[MicroOp]:
-        """Direct access to the underlying µop list (hot paths iterate this)."""
-        return self._uops
+        """The underlying µop list, rebuilding it from the packed columns
+        for loaded/attached traces on first access."""
+        uops = self._uops
+        if uops is None:
+            uops = self._uops = self._packed.to_uops()
+        return uops
 
     def split(self, warmup: int) -> tuple["Trace", "Trace"]:
         """Split into (warm-up slice, measurement slice) at µop *warmup*."""
         if warmup < 0:
             raise ValueError("warm-up length cannot be negative")
-        head = Trace(self._uops[:warmup], name=f"{self.name}:warmup")
-        tail = Trace(self._uops[warmup:], name=f"{self.name}:measure")
+        head = Trace(self.uops[:warmup], name=f"{self.name}:warmup")
+        tail = Trace(self.uops[warmup:], name=f"{self.name}:measure")
         return head, tail
 
     def stats(self) -> TraceStats:
-        """Compute summary statistics in a single pass."""
+        """Compute summary statistics (vectorised when already packed)."""
+        if self._packed is not None and self._packed.n == len(self):
+            return self._stats_packed()
         stats = TraceStats()
-        stats.n_uops = len(self._uops)
+        stats.n_uops = len(self.uops)
         counts = stats.op_class_counts
-        for uop in self._uops:
+        for uop in self.uops:
             counts[uop.op_class] += 1
             if uop.is_branch:
                 stats.n_branches += 1
@@ -170,6 +443,25 @@ class Trace:
                 stats.n_value_producers += 1
         return stats
 
+    def _stats_packed(self) -> TraceStats:
+        """The same statistics, computed with numpy over packed columns."""
+        a = self._packed.arrays
+        ops = a["ops"]
+        stats = TraceStats()
+        stats.n_uops = int(ops.shape[0])
+        counts = np.bincount(ops, minlength=len(OpClass))
+        for cls in OpClass:
+            if counts[int(cls)]:
+                stats.op_class_counts[cls] = int(counts[int(cls)])
+        is_branch = np.isin(ops, _CTRL_INTS)
+        stats.n_branches = int(is_branch.sum())
+        stats.n_cond_branches = int(counts[_BRANCH_INT])
+        stats.n_taken = int((is_branch & a["takens"]).sum())
+        stats.n_loads = int(counts[_LOAD_INT])
+        stats.n_stores = int(counts[_STORE_INT])
+        stats.n_value_producers = int(((a["dsts"] >= 0) & ~is_branch).sum())
+        return stats
+
     def back_to_back_fraction(self, fetch_width: int = 8) -> float:
         """Fraction of VP-eligible µops whose previous dynamic occurrence sits
         within one fetch group, i.e. would have been fetched the previous
@@ -183,7 +475,7 @@ class Trace:
         last_seen: dict[int, int] = {}
         eligible = 0
         back_to_back = 0
-        for position, uop in enumerate(self._uops):
+        for position, uop in enumerate(self.uops):
             if not uop.produces_value:
                 continue
             eligible += 1

@@ -75,6 +75,7 @@ from repro.pipeline.resources import (
 from repro.pipeline.result import SimResult
 from repro.predictors.base import ValuePredictor
 from repro.predictors.oracle import OraclePredictor
+from repro.util import profiling
 
 _LINE_SHIFT = 6  # 64-byte I-cache lines
 
@@ -125,7 +126,8 @@ class CoreModel:
         if gc_was_enabled:
             gc.disable()
         try:
-            return self._run(trace, warmup, workload, stage_trace)
+            with profiling.phase("simulate"):
+                return self._run(trace, warmup, workload, stage_trace)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -244,7 +246,7 @@ class CoreModel:
         train_queue: deque = deque()
 
         branch_unit = self.branch_unit
-        process_branch = branch_unit.process
+        process_branch = branch_unit.process_scalar
         store_sets = self.store_sets
         predicted_store = store_sets.predicted_store
         store_fetched = store_sets.store_fetched
@@ -263,7 +265,6 @@ class CoreModel:
                 if type(predictor).speculate is not ValuePredictor.speculate
                 else None
             )
-        uops = trace.uops
         cols = trace.columns()
         n_uops = cols.n
         col_seq = cols.seqs
@@ -276,6 +277,7 @@ class CoreModel:
         col_addr = cols.mem_addrs
         col_size = cols.mem_sizes
         col_taken = cols.takens
+        col_target = cols.targets
         col_fp = cols.dst_is_fp
         col_is_branch = cols.is_branch
         col_is_cond = cols.is_cond_branch
@@ -367,7 +369,9 @@ class CoreModel:
             # ---- Branch prediction (and shared history maintenance) ----
             branch_redirect = 0
             if is_branch:
-                bres = process_branch(uops[i])
+                # Scalar columns instead of the µop object: store-loaded
+                # and shm-attached traces never materialise MicroOps here.
+                bres = process_branch(op, pc, col_taken[i], col_target[i])
                 if bres.direction_mispredict:
                     branch_redirect = 1  # resolved at execute
                 elif bres.target_mispredict:

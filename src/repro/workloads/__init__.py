@@ -14,9 +14,13 @@ from repro.workloads.catalog import (
     WORKLOADS,
     WorkloadSpec,
     build_trace,
+    cached_trace,
     clear_trace_cache,
     get_spec,
     known_workload,
+    resolve_seed,
+    seed_trace,
+    trace_cache_stats,
 )
 from repro.workloads.scenarios import (
     ScenarioParams,
@@ -24,20 +28,34 @@ from repro.workloads.scenarios import (
     parse_scenario_name,
     scenario_axis,
 )
+from repro.workloads.store import (
+    TRACE_DIR_ENV,
+    TraceStore,
+    default_trace_store,
+    trace_key,
+)
 
 __all__ = [
     "ALL_WORKLOADS",
     "FP_WORKLOADS",
     "INT_WORKLOADS",
     "ScenarioParams",
+    "TRACE_DIR_ENV",
     "TraceBuilder",
+    "TraceStore",
     "WORKLOADS",
     "WorkloadSpec",
     "build_trace",
+    "cached_trace",
     "clear_trace_cache",
+    "default_trace_store",
     "get_spec",
     "is_scenario_name",
     "known_workload",
     "parse_scenario_name",
+    "resolve_seed",
+    "seed_trace",
     "scenario_axis",
+    "trace_cache_stats",
+    "trace_key",
 ]

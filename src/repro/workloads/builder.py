@@ -88,7 +88,9 @@ class TraceBuilder:
         return reg
 
     def _srcs(self, names, fp: bool = False) -> tuple[int, ...]:
-        return tuple(self._reg(n, fp) for n in names)
+        # List comprehension instead of a generator: tuple(<listcomp>) is
+        # measurably cheaper at this call rate (one call per emitted µop).
+        return tuple([self._reg(n, fp) for n in names])
 
     def _emit(self, uop: MicroOp) -> MicroOp:
         self.trace.append(uop)
@@ -101,7 +103,7 @@ class TraceBuilder:
         """Load-immediate / constant generation (INT ALU, no sources)."""
         self._emit(
             MicroOp(
-                seq=self.n,
+                seq=self._n,
                 pc=self.pc_of(label),
                 op_class=OpClass.INT_ALU,
                 srcs=(),
@@ -114,7 +116,7 @@ class TraceBuilder:
         """Single-cycle integer operation."""
         self._emit(
             MicroOp(
-                seq=self.n,
+                seq=self._n,
                 pc=self.pc_of(label),
                 op_class=OpClass.INT_ALU,
                 srcs=self._srcs(srcs),
@@ -132,7 +134,7 @@ class TraceBuilder:
     def _op(self, label, dst, srcs, value, cls, fp: bool = False) -> None:
         self._emit(
             MicroOp(
-                seq=self.n,
+                seq=self._n,
                 pc=self.pc_of(label),
                 op_class=cls,
                 srcs=self._srcs(srcs, fp),
@@ -167,7 +169,7 @@ class TraceBuilder:
     ) -> None:
         self._emit(
             MicroOp(
-                seq=self.n,
+                seq=self._n,
                 pc=self.pc_of(label),
                 op_class=OpClass.LOAD,
                 srcs=self._srcs(addr_srcs),
@@ -193,7 +195,7 @@ class TraceBuilder:
             srcs.append(self._reg(data_src, fp_data))
         self._emit(
             MicroOp(
-                seq=self.n,
+                seq=self._n,
                 pc=self.pc_of(label),
                 op_class=OpClass.STORE,
                 srcs=tuple(srcs),
@@ -209,7 +211,7 @@ class TraceBuilder:
         """Conditional branch; *target_label* names the taken destination."""
         self._emit(
             MicroOp(
-                seq=self.n,
+                seq=self._n,
                 pc=self.pc_of(label),
                 op_class=OpClass.BRANCH,
                 srcs=self._srcs(srcs),
@@ -222,7 +224,7 @@ class TraceBuilder:
     def jump(self, label: str, target_label: str) -> None:
         self._emit(
             MicroOp(
-                seq=self.n,
+                seq=self._n,
                 pc=self.pc_of(label),
                 op_class=OpClass.JUMP,
                 srcs=(),
@@ -237,7 +239,7 @@ class TraceBuilder:
         self._call_stack.append(pc + 4)
         self._emit(
             MicroOp(
-                seq=self.n,
+                seq=self._n,
                 pc=pc,
                 op_class=OpClass.CALL,
                 srcs=(),
@@ -251,7 +253,7 @@ class TraceBuilder:
         target = self._call_stack.pop() if self._call_stack else 0
         self._emit(
             MicroOp(
-                seq=self.n,
+                seq=self._n,
                 pc=self.pc_of(label),
                 op_class=OpClass.RET,
                 srcs=(),

@@ -9,13 +9,17 @@ rationale).
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.isa.trace import Trace
+from repro.util import profiling
 from repro.workloads import kernels_fp, kernels_int, scenarios
 from repro.workloads.builder import TraceBuilder
 from repro.workloads.invariants import inject_invariants
+from repro.workloads.store import default_trace_store
 
 
 @dataclass(frozen=True)
@@ -131,7 +135,112 @@ ALL_WORKLOADS = tuple(w.name for w in WORKLOADS)
 
 # Trace cache: building traces is pure and deterministic, so traces are
 # memoised per (name, length, seed) for the many runs that reuse them.
-_TRACE_CACHE: dict[tuple[str, int, int], Trace] = {}
+# The cache is a *bounded* LRU: a long-lived `repro serve` daemon sweeping
+# many scenario workloads must not grow it without limit, so inserts evict
+# least-recently-used traces past an entry count and a packed-byte budget
+# (tunable via the environment, read per call so tests can flip them).
+_TRACE_CACHE: OrderedDict[tuple[str, int, int], Trace] = OrderedDict()
+_TRACE_CACHE_BYTES = 0
+
+#: Environment variables bounding the per-process trace cache.
+TRACE_CACHE_ENTRIES_ENV = "REPRO_TRACE_CACHE_ENTRIES"
+TRACE_CACHE_MB_ENV = "REPRO_TRACE_CACHE_MB"
+
+#: Default LRU budgets: entries and packed megabytes.  A 48k-µop packed
+#: trace is ~3.5 MB, so the defaults hold every distinct trace of a full
+#: reproduction run with room to spare while capping a pathological sweep.
+TRACE_CACHE_MAX_ENTRIES = 64
+TRACE_CACHE_MAX_MB = 512
+
+# Lifetime counters (this process): kernel generations actually executed
+# vs. trace-store loads.  The grid benchmark and the store tests use these
+# to prove structurally that warm paths skip generation.
+_GEN_COUNT = 0
+_STORE_LOAD_COUNT = 0
+
+
+def _cache_budgets() -> tuple[int, int]:
+    """(max entries, max bytes) for the LRU, honouring the env overrides."""
+    try:
+        entries = int(os.environ.get(TRACE_CACHE_ENTRIES_ENV, ""))
+    except ValueError:
+        entries = TRACE_CACHE_MAX_ENTRIES
+    if entries < 1:
+        entries = TRACE_CACHE_MAX_ENTRIES
+    try:
+        mb = float(os.environ.get(TRACE_CACHE_MB_ENV, ""))
+    except ValueError:
+        mb = TRACE_CACHE_MAX_MB
+    if mb <= 0:
+        mb = TRACE_CACHE_MAX_MB
+    return entries, int(mb * 1024 * 1024)
+
+
+def _cache_insert(key: tuple[str, int, int], trace: Trace) -> None:
+    """Insert (or refresh) a trace and evict LRU entries past the budgets.
+
+    The newly inserted trace itself is never evicted, so a single trace
+    larger than the whole byte budget still caches (budget-keeping resumes
+    with the next insert).
+    """
+    global _TRACE_CACHE_BYTES
+    nbytes = trace.nbytes
+    old = _TRACE_CACHE.pop(key, None)
+    if old is not None:
+        _TRACE_CACHE_BYTES -= old.nbytes
+    _TRACE_CACHE[key] = trace
+    _TRACE_CACHE_BYTES += nbytes
+    max_entries, max_bytes = _cache_budgets()
+    while len(_TRACE_CACHE) > 1 and (
+        len(_TRACE_CACHE) > max_entries or _TRACE_CACHE_BYTES > max_bytes
+    ):
+        _, evicted = _TRACE_CACHE.popitem(last=False)
+        _TRACE_CACHE_BYTES -= evicted.nbytes
+
+
+def _cache_get(key: tuple[str, int, int]) -> Trace | None:
+    trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        _TRACE_CACHE.move_to_end(key)
+    return trace
+
+
+def resolve_seed(name: str, seed: int | None = None) -> int:
+    """The effective build seed for *name*: explicit, else the catalog /
+    scenario default.  This is the seed component of every trace identity
+    (in-process cache, on-disk store, shared-memory plane)."""
+    if seed is not None:
+        return seed
+    params = scenarios.parse_scenario_name(name)
+    if params is not None:
+        return params.default_seed()
+    return get_spec(name).seed
+
+
+def cached_trace(name: str, n_uops: int, seed: int | None = None) -> Trace | None:
+    """The cached trace for an identity tuple, or ``None`` (no building)."""
+    return _cache_get((name, n_uops, resolve_seed(name, seed)))
+
+
+def seed_trace(name: str, n_uops: int, seed: int | None, trace: Trace) -> None:
+    """Install an externally materialised trace (e.g. attached from the
+    shared-memory plane) under its identity so :func:`build_trace` hits."""
+    _cache_insert((name, n_uops, resolve_seed(name, seed)), trace)
+
+
+def trace_cache_stats() -> dict:
+    """Entry/byte occupancy and lifetime build/load counters."""
+    return {
+        "entries": len(_TRACE_CACHE),
+        "bytes": _TRACE_CACHE_BYTES,
+        "generations": _GEN_COUNT,
+        "store_loads": _STORE_LOAD_COUNT,
+    }
+
+
+def generation_count() -> int:
+    """Kernel generations executed in this process (store loads excluded)."""
+    return _GEN_COUNT
 
 
 def get_spec(name: str) -> WorkloadSpec:
@@ -148,8 +257,40 @@ def known_workload(name: str) -> bool:
     return name in _BY_NAME or scenarios.is_scenario_name(name)
 
 
+def _generate_trace(name: str, n_uops: int, effective_seed: int) -> Trace:
+    """Run the generator for one identity tuple (no caches consulted)."""
+    global _GEN_COUNT
+    _GEN_COUNT += 1
+    params = scenarios.parse_scenario_name(name)
+    if params is not None:
+        builder = TraceBuilder(name, seed=effective_seed)
+        scenarios.scenario_kernel(params, builder, n_uops)
+        trace = builder.trace
+    else:
+        spec = get_spec(name)
+        block = spec.redundancy_count + 1
+        dilution = 1.0 + block / spec.redundancy_every
+        # Small safety margin: kernels stop at loop-iteration granularity,
+        # so aim past the target and trim back to exactly n_uops.
+        kernel_target = max(
+            1, int(n_uops / dilution) + 2 * spec.redundancy_every + 16
+        )
+        builder = TraceBuilder(name, seed=effective_seed)
+        spec.kernel(builder, kernel_target)
+        trace = inject_invariants(
+            builder.trace,
+            every=spec.redundancy_every,
+            count=spec.redundancy_count,
+            seed=effective_seed,
+        )
+    if len(trace) > n_uops:
+        trace = trace[:n_uops]
+        trace.name = name
+    return trace
+
+
 def build_trace(name: str, n_uops: int, seed: int | None = None, cache: bool = True) -> Trace:
-    """Generate (or fetch from cache) the µop trace for one benchmark.
+    """Materialise the µop trace for one benchmark, cheapest source first.
 
     *name* is either a Table 3 catalog entry or a parameterised scenario
     (``scenario-c*-e*-l*``, see :mod:`repro.workloads.scenarios`).  For
@@ -159,52 +300,46 @@ def build_trace(name: str, n_uops: int, seed: int | None = None, cache: bool = T
     scenarios control their own redundancy through the locality knob.  The
     returned trace has at least *n_uops* µops; callers slice off what they
     need.
+
+    Sources are tried in cost order: the in-process LRU cache, the
+    persistent trace store (``$REPRO_TRACE_DIR``, mmap-loaded packed
+    columns), and finally the generator — whose output is persisted to the
+    store so every later process loads instead of regenerates.  All three
+    paths yield bit-identical columns (pinned by the store round-trip
+    tests and the golden grid).
     """
-    params = scenarios.parse_scenario_name(name)
-    if params is not None:
-        effective_seed = seed if seed is not None else params.default_seed()
-        key = (name, n_uops, effective_seed)
-        if cache and key in _TRACE_CACHE:
-            return _TRACE_CACHE[key]
-        builder = TraceBuilder(name, seed=effective_seed)
-        scenarios.scenario_kernel(params, builder, n_uops)
-        trace = builder.trace
-        if len(trace) > n_uops:
-            trace = trace[:n_uops]
-            trace.name = name
-        if cache:
-            trace.columns()
-            _TRACE_CACHE[key] = trace
-        return trace
-    spec = get_spec(name)
-    effective_seed = seed if seed is not None else spec.seed
+    global _STORE_LOAD_COUNT
+    effective_seed = resolve_seed(name, seed)
     key = (name, n_uops, effective_seed)
-    if cache and key in _TRACE_CACHE:
-        return _TRACE_CACHE[key]
-    block = spec.redundancy_count + 1
-    dilution = 1.0 + block / spec.redundancy_every
-    # Small safety margin: kernels stop at loop-iteration granularity, so
-    # aim past the target and trim back to exactly n_uops.
-    kernel_target = max(1, int(n_uops / dilution) + 2 * spec.redundancy_every + 16)
-    builder = TraceBuilder(name, seed=effective_seed)
-    spec.kernel(builder, kernel_target)
-    trace = inject_invariants(
-        builder.trace,
-        every=spec.redundancy_every,
-        count=spec.redundancy_count,
-        seed=effective_seed,
-    )
-    if len(trace) > n_uops:
-        trace = trace[:n_uops]
-        trace.name = name
+    if cache:
+        hit = _cache_get(key)
+        if hit is not None:
+            return hit
+    store = default_trace_store() if cache else None
+    if store is not None:
+        loaded = store.get(name, n_uops, effective_seed)
+        if loaded is not None:
+            _STORE_LOAD_COUNT += 1
+            with profiling.phase("trace-columnize"):
+                loaded.columns()
+            _cache_insert(key, loaded)
+            return loaded
+    with profiling.phase("trace-build"):
+        trace = _generate_trace(name, n_uops, effective_seed)
     if cache:
         # Materialise the columnar view once per cached trace, so every
         # simulation that reuses the trace skips the per-µop rederivation
         # (predictor keys, line ids, op-class flags) in the scheduler loop.
-        trace.columns()
-        _TRACE_CACHE[key] = trace
+        with profiling.phase("trace-columnize"):
+            trace.columns()
+        if store is not None:
+            store.put(trace, name, n_uops, effective_seed)
+        _cache_insert(key, trace)
     return trace
 
 
 def clear_trace_cache() -> None:
+    """Drop every cached trace (test isolation, memory pressure)."""
+    global _TRACE_CACHE_BYTES
     _TRACE_CACHE.clear()
+    _TRACE_CACHE_BYTES = 0

@@ -17,7 +17,6 @@ catalog.
 
 from __future__ import annotations
 
-import dataclasses
 import random
 
 from repro.isa.trace import Trace
@@ -50,7 +49,12 @@ def inject_invariants(
     out: list[MicroOp] = []
     since_block = 0
     for uop in trace.uops:
-        out.append(dataclasses.replace(uop, seq=len(out)))
+        # Renumber in place instead of `dataclasses.replace` (which was
+        # ~40% of total trace-build time): the input trace is the
+        # builder's freshly generated, otherwise-unreferenced µop list,
+        # so mutating `seq` is safe and the output is value-identical.
+        uop.seq = len(out)
+        out.append(uop)
         since_block += 1
         if since_block >= every:
             since_block = 0

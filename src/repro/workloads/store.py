@@ -1,0 +1,236 @@
+"""Content-addressed on-disk trace store (the persistent trace plane).
+
+Building a trace is pure and deterministic, but not free: the kernel VM
+emits ~5 µs/µop of Python work, so a cold daemon restart or a fresh
+worker process used to pay the full generation cost for every workload it
+touched.  The store persists the *packed* columnar form
+(:class:`~repro.isa.trace.PackedColumns`) of each built trace under a
+content key, so any later process — same machine, any backend — loads
+the bytes (mmap-able ``.npy`` per column) instead of re-running the
+generator.
+
+**Keying.**  ``trace_key(name, n_uops, seed)`` digests the same identity
+tuple the in-process trace cache uses, plus three versions: the packed
+schema (:data:`~repro.isa.trace.TRACE_SCHEMA_VERSION`), the store layout
+(:data:`STORE_FORMAT_VERSION`) and the generator
+(:data:`TRACE_GENERATOR_VERSION` — bump it whenever kernels, invariant
+injection or scenario generation change the emitted µop stream).  A
+version bump silently orphans old entries instead of misreading them.
+
+**Layout.**  One directory per entry: ``<dir>/<key[:2]>/<key>/`` holding
+``meta.json`` plus one ``<column>.npy`` file per schema column.  Writes
+go to a ``*.tmp.<pid>`` sibling directory and are renamed into place, so
+concurrent writers race benignly (first rename wins, the loser discards).
+
+**Corruption.**  ``get`` validates versions, identity and every column's
+dtype/length; any damage (truncated file, bad JSON, schema drift) makes
+it quarantine-delete the entry and return ``None``, and the caller
+regenerates — a broken store can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.isa.trace import (
+    COLUMN_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    PackedColumns,
+    Trace,
+)
+from repro.util import profiling
+
+#: Environment variable selecting the persistent trace store directory.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: On-disk layout version; mismatched entries are ignored (and reclaimed).
+STORE_FORMAT_VERSION = 1
+
+#: Version of the trace *generators* (kernels, invariant injection,
+#: scenarios, builder).  Any change that alters the emitted µop stream for
+#: some (name, n_uops, seed) must bump this so stored traces regenerate.
+TRACE_GENERATOR_VERSION = 1
+
+_META_NAME = "meta.json"
+
+
+def default_trace_store() -> "TraceStore | None":
+    """The store named by ``$REPRO_TRACE_DIR``, or ``None`` when unset."""
+    raw = os.environ.get(TRACE_DIR_ENV, "").strip()
+    return TraceStore(raw) if raw else None
+
+
+def trace_key(name: str, n_uops: int, seed: int) -> str:
+    """Stable content key for one built trace.
+
+    Digests the identity tuple plus every version that affects the bytes:
+    two traces share a key iff the same generator code would produce the
+    same packed columns for them.
+    """
+    payload = (
+        f"trace:store{STORE_FORMAT_VERSION}:gen{TRACE_GENERATOR_VERSION}"
+        f":schema{TRACE_SCHEMA_VERSION}:{name}:{n_uops}:{seed}"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TraceStore:
+    """Content-addressed directory of packed traces (one subdir per key)."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    # -- paths -----------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.directory / key[:2] / key
+
+    # -- store -----------------------------------------------------------
+
+    def put(self, trace: Trace, name: str, n_uops: int, seed: int) -> Path:
+        """Persist *trace*'s packed columns; returns the entry directory.
+
+        Idempotent and race-tolerant: if the entry already exists (another
+        process won), the temp copy is discarded.  IO failures are
+        swallowed — persisting is an optimisation, never a correctness
+        requirement.
+        """
+        key = trace_key(name, n_uops, seed)
+        final = self._entry_dir(key)
+        if final.is_dir():
+            return final
+        packed = trace.packed()
+        meta = {
+            "format": STORE_FORMAT_VERSION,
+            "generator": TRACE_GENERATOR_VERSION,
+            "schema": TRACE_SCHEMA_VERSION,
+            "name": name,
+            "n_uops": n_uops,
+            "seed": seed,
+            "n": packed.n,
+            "nbytes": packed.nbytes,
+            "columns": {col: str(packed.arrays[col].dtype)
+                        for col, _ in COLUMN_SCHEMA},
+        }
+        tmp = final.with_name(f"{final.name}.tmp.{os.getpid()}")
+        try:
+            with profiling.phase("trace-store-save"):
+                tmp.mkdir(parents=True, exist_ok=True)
+                for col, _ in COLUMN_SCHEMA:
+                    np.save(tmp / f"{col}.npy", packed.arrays[col],
+                            allow_pickle=False)
+                (tmp / _META_NAME).write_text(
+                    json.dumps(meta, sort_keys=True, indent=1))
+                try:
+                    os.rename(tmp, final)
+                except OSError:
+                    shutil.rmtree(tmp, ignore_errors=True)  # lost the race
+            self.stores += 1
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    def contains(self, name: str, n_uops: int, seed: int) -> bool:
+        """Whether an entry exists for this identity (no load, no checks).
+
+        A cheap existence probe for schedulers deciding whether a lease
+        can be served without running a generator; :meth:`get` still does
+        the full validation.
+        """
+        return self._entry_dir(trace_key(name, n_uops, seed)).is_dir()
+
+    def get(self, name: str, n_uops: int, seed: int,
+            mmap: bool = True) -> Trace | None:
+        """Load one trace, or ``None`` on miss/corruption.
+
+        With ``mmap`` (the default) columns come back as read-only
+        ``numpy.memmap`` views — the OS pages trace bytes in on demand and
+        shares them between processes mapping the same entry.  Corrupt
+        entries are deleted so the caller's regeneration heals the store.
+        """
+        key = trace_key(name, n_uops, seed)
+        entry = self._entry_dir(key)
+        if not entry.is_dir():
+            self.misses += 1
+            return None
+        try:
+            with profiling.phase("trace-store-load"):
+                meta = json.loads((entry / _META_NAME).read_text())
+                if (
+                    meta.get("format") != STORE_FORMAT_VERSION
+                    or meta.get("generator") != TRACE_GENERATOR_VERSION
+                    or meta.get("schema") != TRACE_SCHEMA_VERSION
+                    or meta.get("name") != name
+                    or meta.get("n_uops") != n_uops
+                    or meta.get("seed") != seed
+                ):
+                    raise ValueError("metadata does not match the request")
+                arrays = {
+                    col: np.load(entry / f"{col}.npy",
+                                 mmap_mode="r" if mmap else None,
+                                 allow_pickle=False)
+                    for col, _ in COLUMN_SCHEMA
+                }
+                packed = PackedColumns(int(meta["n"]), arrays)
+                packed.validate()
+        except (OSError, ValueError, KeyError) as _exc:
+            self.corrupt += 1
+            shutil.rmtree(entry, ignore_errors=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return Trace.from_packed(packed, name=name)
+
+    # -- maintenance -----------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Metadata rows for every readable entry (unreadable ones skipped)."""
+        rows = []
+        if not self.directory.is_dir():
+            return rows
+        for meta_path in sorted(self.directory.glob(f"??/*/{_META_NAME}")):
+            if ".tmp." in meta_path.parent.name:
+                continue  # in-progress or crash-orphaned writer directory
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):
+                continue
+            meta["key"] = meta_path.parent.name
+            meta["path"] = str(meta_path.parent)
+            rows.append(meta)
+        return rows
+
+    def clear(self) -> int:
+        """Delete every entry (and orphaned temp dirs); returns the count."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for shard in self.directory.glob("??"):
+            for entry in shard.iterdir():
+                shutil.rmtree(entry, ignore_errors=True)
+                if ".tmp." not in entry.name:
+                    removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        """Entry count, total payload bytes and lifetime hit/miss counters."""
+        rows = self.entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(rows),
+            "bytes": sum(int(row.get("nbytes", 0)) for row in rows),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }

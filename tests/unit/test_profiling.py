@@ -1,0 +1,71 @@
+"""Per-phase profiling accounting and the ``--profile`` CLI flag."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.util import profiling
+from repro.workloads import catalog
+
+
+@pytest.fixture(autouse=True)
+def profiling_off():
+    yield
+    profiling.disable()
+
+
+class TestPhaseAccounting:
+    def test_disabled_records_nothing(self):
+        profiling.disable()
+        with profiling.phase("x"):
+            pass
+        profiling.enable()          # reset + enable
+        assert profiling.snapshot() == {}
+
+    def test_phases_accumulate_seconds_and_calls(self):
+        profiling.enable()
+        for _ in range(3):
+            with profiling.phase("work"):
+                pass
+        snap = profiling.snapshot()
+        assert snap["work"]["calls"] == 3
+        assert snap["work"]["seconds"] >= 0.0
+
+    def test_build_trace_records_build_and_columnize(self):
+        catalog.clear_trace_cache()
+        profiling.enable()
+        catalog.build_trace("gzip", 1000)
+        snap = profiling.snapshot()
+        assert snap["trace-build"]["calls"] == 1
+        assert snap["trace-columnize"]["calls"] == 1
+        catalog.build_trace("gzip", 1000)  # cache hit: no new phases
+        assert profiling.snapshot()["trace-build"]["calls"] == 1
+        catalog.clear_trace_cache()
+
+    def test_format_report_orders_by_time(self):
+        profiling.enable()
+        profiling.add("slow", 2.0)
+        profiling.add("fast", 0.5)
+        report = profiling.format_report()
+        assert report.index("slow") < report.index("fast")
+
+    def test_empty_report_is_graceful(self):
+        profiling.enable()
+        assert "no phases" in profiling.format_report()
+
+
+class TestProfileFlag:
+    def test_run_profile_prints_phases(self, capsys):
+        assert cli_main(["run", "gzip", "--predictor", "none",
+                         "--uops", "1000", "--warmup", "200",
+                         "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "profile (wall-clock per phase" in err
+        assert "simulate" in err
+
+    def test_campaign_run_profile_prints_phases(self, capsys, tmp_path):
+        assert cli_main(["campaign", "run", "fig4",
+                         "--workloads", "gzip", "--uops", "800",
+                         "--warmup", "200", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "profile (wall-clock per phase" in err
+        assert "simulate" in err

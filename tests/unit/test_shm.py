@@ -1,0 +1,281 @@
+"""The shared-memory trace plane: registry, adoption, crash cleanup.
+
+Covers the parent-side :class:`~repro.engine.shm.SharedTraceRegistry`
+(lease/release refcounts, idle LRU eviction, shutdown unlink), the
+worker-side :func:`~repro.engine.shm.adopt_shared_trace`, the pool
+executor fan-out, and the service queue's lease lifecycle under worker
+``SIGKILL`` + respawn.
+"""
+
+import asyncio
+import os
+import signal
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.executors import PoolExecutor, SerialExecutor
+from repro.engine.job import SimJob, execute_job
+from repro.engine.queue import JobQueue, WorkerPool
+from repro.engine.shm import (
+    SHM_ENV,
+    SharedTraceRegistry,
+    adopt_shared_trace,
+    shm_enabled,
+)
+from repro.workloads import catalog
+
+TINY = dict(n_uops=800, warmup=400)
+
+
+def tiny_job(workload="gzip", predictor="lvp", **kw):
+    return SimJob.make(workload, predictor, **{**TINY, **kw})
+
+
+def _segment_exists(name: str) -> bool:
+    # Probing attaches (and so re-registers with the shared resource
+    # tracker — idempotent); the owner's unlink is what unregisters.
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    catalog.clear_trace_cache()
+    yield
+    catalog.clear_trace_cache()
+
+
+class TestShmEnabled:
+    def test_default_on_and_off_switch(self, monkeypatch):
+        monkeypatch.delenv(SHM_ENV, raising=False)
+        assert shm_enabled()
+        for off in ("0", "off", "false", "no"):
+            monkeypatch.setenv(SHM_ENV, off)
+            assert not shm_enabled()
+        monkeypatch.setenv(SHM_ENV, "1")
+        assert shm_enabled()
+
+
+class TestRegistry:
+    def test_lease_share_release_and_close(self):
+        registry = SharedTraceRegistry()
+        try:
+            first = registry.lease("gzip", 1200)
+            assert first is not None
+            key, spec = first
+            again = registry.lease("gzip", 1200)
+            assert again is not None and again[0] == key
+            assert again[1]["shm"] == spec["shm"]  # same segment, no rebuild
+            stats = registry.stats()
+            assert stats["segments"] == 1
+            assert stats["materialized"] == 1
+            assert stats["shared"] == 2
+            registry.release(key)
+            registry.release(key)
+            assert registry.stats()["leased"] == 0
+            assert _segment_exists(spec["shm"])  # idle, kept for reuse
+        finally:
+            registry.close()
+        assert not _segment_exists(spec["shm"])
+        assert registry.lease("gzip", 1200) is None  # closed registries refuse
+
+    def test_idle_byte_budget_evicts_lru(self):
+        registry = SharedTraceRegistry(idle_bytes=1)  # nothing may idle
+        try:
+            key, spec = registry.lease("gzip", 1200)
+            registry.release(key)
+            assert not _segment_exists(spec["shm"])
+            assert registry.stats()["segments"] == 0
+        finally:
+            registry.close()
+
+    def test_leased_segments_survive_eviction_pressure(self):
+        registry = SharedTraceRegistry(idle_bytes=1)
+        try:
+            key_a, spec_a = registry.lease("gzip", 1200)
+            key_b, spec_b = registry.lease("gcc", 1200)
+            registry.release(key_b)  # evicted immediately (budget = 1 byte)
+            assert _segment_exists(spec_a["shm"])  # still leased: pinned
+            assert not _segment_exists(spec_b["shm"])
+        finally:
+            registry.close()
+
+    def test_unknown_workload_degrades_to_none(self):
+        registry = SharedTraceRegistry()
+        try:
+            assert registry.lease("no-such-workload", 1000) is None
+        finally:
+            registry.close()
+
+    def test_disabled_plane_leases_nothing(self, monkeypatch):
+        monkeypatch.setenv(SHM_ENV, "0")
+        registry = SharedTraceRegistry()
+        try:
+            assert registry.lease("gzip", 1200) is None
+        finally:
+            registry.close()
+
+
+class TestAdoption:
+    def test_adopt_seeds_the_local_trace_cache(self):
+        registry = SharedTraceRegistry()
+        try:
+            key, spec = registry.lease("gcc", 1500)
+            catalog.clear_trace_cache()
+            assert catalog.cached_trace("gcc", 1500) is None
+            assert adopt_shared_trace(spec)
+            adopted = catalog.cached_trace("gcc", 1500)
+            assert adopted is not None
+            reference = catalog.build_trace("gcc", 1500, cache=False)
+            assert adopted.columns().values == reference.columns().values
+        finally:
+            registry.close()
+
+    def test_adopted_trace_outlives_the_segment(self):
+        registry = SharedTraceRegistry()
+        key, spec = registry.lease("gzip", 1200)
+        catalog.clear_trace_cache()
+        assert adopt_shared_trace(spec)
+        registry.close()  # segment unlinked; the adopted copy must survive
+        trace = catalog.cached_trace("gzip", 1200)
+        result = execute_job(tiny_job())
+        catalog.clear_trace_cache()
+        assert result.to_dict() == execute_job(tiny_job()).to_dict()
+        assert trace is not None
+
+    def test_adopt_of_a_dead_segment_degrades(self):
+        registry = SharedTraceRegistry()
+        key, spec = registry.lease("gzip", 1200)
+        registry.close()
+        catalog.clear_trace_cache()
+        assert not adopt_shared_trace(spec)  # False: caller rebuilds locally
+
+
+class TestPoolExecutorFanOut:
+    def test_pool_results_identical_with_and_without_shm(self, monkeypatch):
+        jobs = [tiny_job(w, p) for w in ("gzip", "gcc")
+                for p in ("none", "lvp")]
+        reference = [r.to_dict() for r in SerialExecutor().run(jobs)]
+        monkeypatch.setenv(SHM_ENV, "0")
+        legacy = [r.to_dict() for r in PoolExecutor(2).run(jobs)]
+        monkeypatch.setenv(SHM_ENV, "1")
+        shared = [r.to_dict() for r in PoolExecutor(2).run(jobs)]
+        assert legacy == reference
+        assert shared == reference
+
+    def test_pool_run_leaves_no_segments_behind(self):
+        jobs = [tiny_job("gzip", p) for p in ("none", "lvp")]
+        registry_probe = SharedTraceRegistry()
+        registry_probe.close()
+        PoolExecutor(2).run(jobs)
+        # Nothing of ours should remain in /dev/shm (psm_* segments).
+        leaked = [n for n in os.listdir("/dev/shm") if n.startswith("psm_")] \
+            if os.path.isdir("/dev/shm") else []
+        assert leaked == []
+
+
+class TestQueueLeaseLifecycle:
+    def test_completion_releases_leases_and_stop_unlinks(self):
+        async def scenario():
+            q = JobQueue(WorkerPool(1), cache=ResultCache(None))
+            await q.start()
+            try:
+                await q.run_jobs([tiny_job(), tiny_job("gcc")])
+                stats = q.traces.stats()
+                return stats, [s.spec["shm"]
+                               for s in q.traces._segments.values()]
+            finally:
+                await q.stop()
+
+        stats, names = asyncio.run(scenario())
+        assert stats["materialized"] == 2
+        assert stats["shared"] == 2
+        assert stats["leased"] == 0  # both released on completion
+        for name in names:
+            assert not _segment_exists(name)  # stop() unlinked everything
+
+    def test_cold_traces_prepare_off_the_event_loop(self):
+        async def scenario():
+            q = JobQueue(WorkerPool(1), cache=ResultCache(None))
+            await q.start()
+            try:
+                results = await q.run_jobs([tiny_job(), tiny_job("gcc")])
+                return results, q.traces.stats(), set(q._preparing), \
+                    set(q._prepare_failed)
+            finally:
+                await q.stop()
+
+        results, stats, preparing, failed = asyncio.run(scenario())
+        # Both cold traces were generated via the deferred-prepare path
+        # (thread executor), then materialised and leased — not built
+        # synchronously on the loop, and nothing failed or leaked.
+        assert stats["materialized"] == 2
+        assert stats["shared"] == 2
+        assert preparing == set()
+        assert failed == set()
+        assert [r.to_dict() for r in results] == \
+            [execute_job(tiny_job()).to_dict(),
+             execute_job(tiny_job("gcc")).to_dict()]
+
+    def test_prepare_failure_degrades_to_bare_dispatch(self, monkeypatch):
+        import repro.engine.queue as queue_mod
+
+        monkeypatch.setattr(queue_mod, "prepare_trace",
+                            lambda *a, **kw: None)
+
+        async def scenario():
+            q = JobQueue(WorkerPool(1), cache=ResultCache(None))
+            await q.start()
+            try:
+                results = await q.run_jobs([tiny_job()])
+                return results, q.traces.stats(), set(q._prepare_failed)
+            finally:
+                await q.stop()
+
+        results, stats, failed = asyncio.run(scenario())
+        assert len(failed) == 1          # the identity was marked failed...
+        assert stats["failures"] >= 1
+        assert stats["materialized"] == 0
+        # ...and the worker still produced the correct result locally.
+        assert results[0].to_dict() == execute_job(tiny_job()).to_dict()
+
+    def test_sigkilled_worker_releases_lease_and_requeues(self):
+        async def scenario():
+            q = JobQueue(WorkerPool(2), cache=ResultCache(None))
+            await q.start()
+            try:
+                jobs = [SimJob.make(w, "vtage", n_uops=12000, warmup=6000)
+                        for w in ("gzip", "gcc", "crafty", "applu")]
+                futures, _ = q.submit(jobs)
+                victim = None
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    busy = [w for w in q.pool.describe()
+                            if w["task"] and w["alive"]]
+                    if busy:
+                        victim = busy[0]["pid"]
+                        break
+                    await asyncio.sleep(0.01)
+                assert victim is not None, "no worker ever went busy"
+                os.kill(victim, signal.SIGKILL)
+                results = await asyncio.gather(*futures)
+                return jobs, results, q.stats, q.traces.stats()
+            finally:
+                await q.stop()
+
+        jobs, results, stats, trace_stats = asyncio.run(scenario())
+        assert stats.requeued >= 1
+        assert trace_stats["leased"] == 0  # dead worker's lease was returned
+        # Requeued assignments re-lease (reusing resident segments), so the
+        # plane served at least one lease per job despite the crash.
+        assert trace_stats["shared"] >= len(jobs)
+        expected = [execute_job(j) for j in jobs]
+        assert [r.to_dict() for r in results] == \
+            [e.to_dict() for e in expected]

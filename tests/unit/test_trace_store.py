@@ -1,0 +1,213 @@
+"""The content-addressed trace store: round trips, healing, CLI, catalog.
+
+The store's contract is *cost, never correctness*: a hit loads packed
+columns bit-identical to generation (pinned by simulating both), a
+corrupt entry quarantines itself and the generator heals it, and version
+bumps orphan old entries instead of misreading them.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.engine.job import SimJob, execute_job
+from repro.pipeline.core import simulate
+from repro.workloads import catalog
+from repro.workloads.store import (
+    TRACE_DIR_ENV,
+    TraceStore,
+    default_trace_store,
+    trace_key,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_trace_state(monkeypatch, tmp_path):
+    """Isolate every test: no ambient store, empty trace cache."""
+    monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+    catalog.clear_trace_cache()
+    yield
+    catalog.clear_trace_cache()
+
+
+def build_uncached(name="gzip", total=2000, seed=None):
+    return catalog.build_trace(name, total, seed=seed, cache=False)
+
+
+class TestStoreRoundTrip:
+    def test_put_get_simulates_bit_identically(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = build_uncached("gcc", 2500)
+        store.put(trace, "gcc", 2500, 403)
+        loaded = store.get("gcc", 2500, 403)  # mmap-backed by default
+        assert loaded is not None
+        a = simulate(trace, None, warmup=500, workload="gcc")
+        b = simulate(loaded, None, warmup=500, workload="gcc")
+        assert a.to_dict() == b.to_dict()
+
+    def test_get_without_mmap_matches(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = build_uncached()
+        store.put(trace, "gzip", 2000, 164)
+        loaded = store.get("gzip", 2000, 164, mmap=False)
+        assert loaded.columns().pkeys == trace.columns().pkeys
+
+    def test_miss_returns_none(self, tmp_path):
+        assert TraceStore(tmp_path).get("gzip", 999, 164) is None
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = build_uncached()
+        first = store.put(trace, "gzip", 2000, 164)
+        second = store.put(trace, "gzip", 2000, 164)
+        assert first == second
+        assert store.stats()["entries"] == 1
+
+    def test_key_depends_on_identity_and_versions(self, monkeypatch):
+        base = trace_key("gzip", 2000, 164)
+        assert trace_key("gzip", 2000, 165) != base
+        assert trace_key("gzip", 2001, 164) != base
+        assert trace_key("gcc", 2000, 164) != base
+        import repro.workloads.store as store_mod
+
+        monkeypatch.setattr(store_mod, "TRACE_GENERATOR_VERSION", 999)
+        assert trace_key("gzip", 2000, 164) != base
+
+
+class TestCorruptionHealing:
+    def _stored(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = build_uncached()
+        entry = store.put(trace, "gzip", 2000, 164)
+        return store, entry
+
+    def test_truncated_column_is_quarantined(self, tmp_path):
+        store, entry = self._stored(tmp_path)
+        (entry / "values.npy").write_bytes(b"\x93NUMPY garbage")
+        assert store.get("gzip", 2000, 164) is None
+        assert store.corrupt == 1
+        assert not entry.exists()  # quarantine-deleted
+
+    def test_bad_meta_is_quarantined(self, tmp_path):
+        store, entry = self._stored(tmp_path)
+        (entry / "meta.json").write_text("{not json")
+        assert store.get("gzip", 2000, 164) is None
+        assert not entry.exists()
+
+    def test_orphaned_tmp_dirs_are_not_listed(self, tmp_path):
+        store, entry = self._stored(tmp_path)
+        # Simulate a writer SIGKILLed between meta write and rename.
+        orphan = entry.with_name(f"{entry.name}.tmp.9999")
+        orphan.mkdir()
+        (orphan / "meta.json").write_text(
+            (entry / "meta.json").read_text()
+        )
+        assert store.stats()["entries"] == 1  # the orphan is invisible
+        assert all(".tmp." not in row["key"] for row in store.entries())
+        store.clear()
+        assert not orphan.exists()  # clear() still sweeps it
+
+    def test_missing_column_is_quarantined(self, tmp_path):
+        store, entry = self._stored(tmp_path)
+        (entry / "takens.npy").unlink()
+        assert store.get("gzip", 2000, 164) is None
+
+    def test_build_trace_regenerates_and_reheals(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        reference = catalog.build_trace("gzip", 2000).columns().values
+        store = default_trace_store()
+        assert store.stats()["entries"] == 1
+        entry = next(tmp_path.glob("??/*"))
+        (entry / "meta.json").write_text("{not json")
+        catalog.clear_trace_cache()
+        healed = catalog.build_trace("gzip", 2000)  # regenerates + re-persists
+        assert healed.columns().values == reference
+        assert default_trace_store().stats()["entries"] == 1
+
+
+class TestCatalogIntegration:
+    def test_warm_store_skips_generation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        first = catalog.build_trace("gcc", 2500)
+        catalog.clear_trace_cache()
+        before = catalog.generation_count()
+        second = catalog.build_trace("gcc", 2500)
+        assert catalog.generation_count() == before  # loaded, not generated
+        assert second.columns().values == first.columns().values
+
+    def test_store_loaded_job_results_match(self, tmp_path, monkeypatch):
+        job = SimJob.make("gzip", "lvp", n_uops=1500, warmup=500)
+        cold = execute_job(job)
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        catalog.clear_trace_cache()
+        execute_job(job)              # populates the store
+        catalog.clear_trace_cache()
+        warm = execute_job(job)       # served from the store
+        assert warm.to_dict() == cold.to_dict()
+
+
+class TestLRUTraceCache:
+    def test_entry_budget_evicts_least_recently_used(self, monkeypatch):
+        monkeypatch.setenv(catalog.TRACE_CACHE_ENTRIES_ENV, "2")
+        catalog.build_trace("gzip", 1000)
+        catalog.build_trace("gcc", 1000)
+        catalog.build_trace("gzip", 1000)       # refresh gzip
+        catalog.build_trace("crafty", 1000)     # evicts gcc (LRU)
+        assert catalog.cached_trace("gzip", 1000) is not None
+        assert catalog.cached_trace("crafty", 1000) is not None
+        assert catalog.cached_trace("gcc", 1000) is None
+        assert catalog.trace_cache_stats()["entries"] == 2
+
+    def test_byte_budget_bounds_the_cache(self, monkeypatch):
+        # ~70 KB per 1000-µop packed trace; a 0.1 MB budget holds one.
+        monkeypatch.setenv(catalog.TRACE_CACHE_MB_ENV, "0.1")
+        catalog.build_trace("gzip", 1000)
+        catalog.build_trace("gcc", 1000)
+        stats = catalog.trace_cache_stats()
+        assert stats["entries"] == 1
+        assert catalog.cached_trace("gcc", 1000) is not None
+
+    def test_single_oversized_trace_still_caches(self, monkeypatch):
+        monkeypatch.setenv(catalog.TRACE_CACHE_MB_ENV, "0.01")
+        trace = catalog.build_trace("gzip", 2000)
+        assert catalog.cached_trace("gzip", 2000) is trace
+
+    def test_seed_trace_installs_under_resolved_identity(self):
+        trace = build_uncached("gzip", 1200)
+        catalog.seed_trace("gzip", 1200, None, trace)
+        assert catalog.cached_trace("gzip", 1200, 164) is trace
+        assert catalog.build_trace("gzip", 1200) is trace
+
+
+class TestTraceCLI:
+    def test_build_ls_clear(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert cli_main(["trace", "build", "--workloads", "gzip,gcc",
+                         "--uops", "1000", "--warmup", "500",
+                         "--trace-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "built and stored" in out
+        # Rebuilding is a no-op.
+        assert cli_main(["trace", "build", "--workloads", "gzip",
+                         "--uops", "1000", "--warmup", "500",
+                         "--trace-dir", store_dir]) == 0
+        assert "already stored" in capsys.readouterr().out
+        assert cli_main(["trace", "ls", "--stats",
+                         "--trace-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "gcc" in out
+        assert "total: 2 trace(s)" in out
+        assert cli_main(["trace", "clear", "--trace-dir", store_dir]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert TraceStore(store_dir).stats()["entries"] == 0
+
+    def test_trace_without_dir_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["trace", "ls"])
+
+    def test_env_var_supplies_the_dir(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        assert cli_main(["trace", "ls"]) == 0
+        assert "no stored traces" in capsys.readouterr().out
