@@ -1,0 +1,66 @@
+"""Where benchmark reports land, and the provenance they carry.
+
+Emitters never rewrite the committed ``BENCH_*.json`` reports in place:
+every run writes into the scratch directory named by ``REPRO_BENCH_DIR``
+(default ``bench_out/`` at the repository root, gitignored).  The
+checked-in reports at the repo root change only through an explicit
+promote step — rerun the emitter with ``REPRO_BENCH_PROMOTE=1`` — so a
+casual ``pytest benchmarks/`` can never silently drift a committed
+number while the regression gates keep reading the committed baseline.
+
+Every report also carries a ``run`` block (load average, repeat count,
+simulation-path mode) so a promoted number can be audited later: a
+measurement taken on a loaded machine, or with the fast paths disabled,
+is visible as such in the report itself.
+"""
+
+import os
+from pathlib import Path
+
+from repro.pipeline import ckernel
+from repro.pipeline.fastsim import fast_kernel_enabled, fast_sim_enabled
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Scratch directory for benchmark reports (created on demand).
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: Set to ``1`` to write the committed repo-root report instead.
+PROMOTE_ENV = "REPRO_BENCH_PROMOTE"
+
+
+def bench_output_path(name: str) -> Path:
+    """Resolve where report *name* (e.g. ``BENCH_core.json``) is written.
+
+    Default: ``$REPRO_BENCH_DIR/name`` (scratch, gitignored).  With
+    ``REPRO_BENCH_PROMOTE=1``: the committed copy at the repo root.
+    """
+    if os.environ.get(PROMOTE_ENV) == "1":
+        return REPO_ROOT / name
+    out = Path(os.environ.get(BENCH_DIR_ENV) or REPO_ROOT / "bench_out")
+    out.mkdir(parents=True, exist_ok=True)
+    return out / name
+
+
+def simulation_mode() -> str:
+    """Which cycle-loop path this process would take for eligible configs."""
+    if not fast_sim_enabled():
+        return "legacy"
+    if fast_kernel_enabled() and ckernel.kernel_available():
+        return "kernel-c"
+    return "kernel-python"
+
+
+def run_metadata(rounds: int) -> dict:
+    """Provenance block embedded in every benchmark report."""
+    try:
+        load_1m = round(os.getloadavg()[0], 2)
+    except (OSError, AttributeError):  # pragma: no cover - no getloadavg
+        load_1m = None
+    return {
+        "rounds": rounds,
+        "load_avg_1m": load_1m,
+        "cpu_count": os.cpu_count(),
+        "simulation_mode": simulation_mode(),
+        "promoted": os.environ.get(PROMOTE_ENV) == "1",
+    }

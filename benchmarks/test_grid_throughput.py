@@ -12,9 +12,11 @@ modes:
 * ``warm``   — trace plane on, store populated (daemon restart / next
   campaign): every trace mmap-loads, zero generator runs.
 
-Wall-clock per mode is written to ``BENCH_grid.json`` at the repository
-root together with the speedups versus the same-worker-count legacy
-mode.  Timing numbers are *reported*, not gated (shared CI runners are
+Wall-clock per mode is written to ``BENCH_grid.json`` in the scratch
+bench directory (``$REPRO_BENCH_DIR``, default ``bench_out/``; the
+committed repo-root copy only changes under ``REPRO_BENCH_PROMOTE=1`` —
+see :mod:`bench_io`) together with the speedups versus the
+same-worker-count legacy mode.  Timing numbers are *reported*, not gated (shared CI runners are
 too noisy for grid-level wall-clock floors, and with fewer cores than
 workers the parallel rows measure redundant-work elimination rather than
 parallel speedup — ``cpu_count`` is recorded for exactly that reason).
@@ -30,6 +32,7 @@ import sys
 import time
 from pathlib import Path
 
+import bench_io
 from repro.engine.api import Engine
 from repro.engine.cache import ResultCache
 from repro.engine.executors import make_executor
@@ -39,7 +42,6 @@ from repro.workloads import catalog
 from repro.workloads.store import TRACE_DIR_ENV, TraceStore
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
-BENCH_GRID_PATH = _REPO_ROOT / "BENCH_grid.json"
 
 #: The fixed grid: 6 workloads spanning the behavioural families × 4
 #: predictor configs = 24 jobs sharing 6 unique traces.
@@ -93,12 +95,16 @@ def run_grid_mode(jobs: list[SimJob], workers: int, *,
 
 
 def emit_bench_grid(store_root: Path,
-                    path: Path = BENCH_GRID_PATH) -> tuple[dict, dict]:
+                    path: Path | None = None) -> tuple[dict, dict]:
     """Measure every (workers × mode) cell and write BENCH_grid.json.
 
-    Returns ``(report, result-dict-lists per cell)`` so the caller can
-    assert cross-mode bit-identity.
+    Writes to the scratch bench directory by default (committed copy
+    only under ``REPRO_BENCH_PROMOTE=1``).  Returns ``(report,
+    result-dict-lists per cell)`` so the caller can assert cross-mode
+    bit-identity.
     """
+    if path is None:
+        path = bench_io.bench_output_path("BENCH_grid.json")
     jobs = grid_jobs()
     unique_traces = {(j.workload, j.warmup + j.n_uops, j.seed) for j in jobs}
     cells: dict[str, dict] = {}
@@ -131,7 +137,7 @@ def emit_bench_grid(store_root: Path,
             cell["speedup_vs_legacy"] = round(legacy / cell["wall_s"], 3)
         cells[f"store-w{workers}"] = TraceStore(store_dir).stats()["entries"]
     report = {
-        "schema": 1,
+        "schema": 2,
         "unit": "wall_s",
         "grid": {
             "jobs": len(jobs),
@@ -143,6 +149,7 @@ def emit_bench_grid(store_root: Path,
         },
         "workers": list(WORKER_COUNTS),
         "cells": cells,
+        "run": bench_io.run_metadata(ROUNDS),
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
         "machine": platform.machine(),

@@ -2,8 +2,10 @@
 
 ``test_bench_core_json`` is the PR-2 throughput gate: it measures
 single-job simulation throughput (µops/s) on fixed slices — including the
-profiled ``gcc/vtage`` 48k-µop job — writes ``BENCH_core.json`` at the
-repository root, and fails on a >30% regression against the committed
+profiled ``gcc/vtage`` 48k-µop job — writes ``BENCH_core.json`` into the
+scratch directory (``$REPRO_BENCH_DIR``, default ``bench_out/``;
+promote with ``REPRO_BENCH_PROMOTE=1`` — see :mod:`bench_io`), and fails
+on a >30% regression against the committed
 ``benchmarks/bench_baseline.json``.  It needs only pytest (no
 pytest-benchmark), so CI's perf-smoke job can run it standalone:
 
@@ -16,6 +18,7 @@ import sys
 import time
 from pathlib import Path
 
+import bench_io
 from repro.analysis.metrics import evaluate_predictor
 from repro.core.confidence import ConfidencePolicy
 from repro.core.vtage import VTAGEPredictor
@@ -25,7 +28,6 @@ from repro.predictors.stride import TwoDeltaStridePredictor
 from repro.workloads.catalog import build_trace
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
-BENCH_CORE_PATH = _REPO_ROOT / "BENCH_core.json"
 BASELINE_PATH = _REPO_ROOT / "benchmarks" / "bench_baseline.json"
 
 #: Fixed measurement slices: (workload, predictor, µops).  The first entry
@@ -40,9 +42,12 @@ BENCH_CORE_ENTRIES = (
 #: Allowed slowdown vs. the committed baseline before the gate fails.
 REGRESSION_TOLERANCE = 0.30
 
+#: Best-of rounds per slice (recorded in the report's ``run`` block).
+ROUNDS = 5
+
 
 def measure_uops_per_s(workload: str, predictor_name: str, n_uops: int,
-                       rounds: int = 5) -> float:
+                       rounds: int = ROUNDS) -> float:
     """Best-of-*rounds* single-job simulation throughput in µops/s.
 
     The trace is built (and its columnar view materialised) once up
@@ -61,8 +66,14 @@ def measure_uops_per_s(workload: str, predictor_name: str, n_uops: int,
     return best
 
 
-def emit_bench_core(path: Path = BENCH_CORE_PATH) -> dict:
-    """Measure every entry and write the BENCH_core.json report."""
+def emit_bench_core(path: Path | None = None) -> dict:
+    """Measure every entry and write the BENCH_core.json report.
+
+    Writes to the scratch bench directory by default; the committed
+    repo-root copy is only touched under ``REPRO_BENCH_PROMOTE=1``.
+    """
+    if path is None:
+        path = bench_io.bench_output_path("BENCH_core.json")
     uops_per_s = {
         f"{workload}/{predictor}": round(
             measure_uops_per_s(workload, predictor, n_uops)
@@ -70,10 +81,11 @@ def emit_bench_core(path: Path = BENCH_CORE_PATH) -> dict:
         for workload, predictor, n_uops in BENCH_CORE_ENTRIES
     }
     report = {
-        "schema": 1,
+        "schema": 2,
         "unit": "uops_per_s",
         "slices": {f"{w}/{p}": n for w, p, n in BENCH_CORE_ENTRIES},
         "uops_per_s": uops_per_s,
+        "run": bench_io.run_metadata(ROUNDS),
         "python": sys.version.split()[0],
         "machine": platform.machine(),
     }

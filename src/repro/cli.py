@@ -63,6 +63,7 @@ from repro.engine.client import ServiceClient, ServiceError
 from repro.engine.executors import JOBS_ENV
 from repro.engine.job import SimJob
 from repro.engine.service import SOCKET_ENV, run_service
+from repro.pipeline.fastsim import kernel_mode
 from repro.pipeline.result import SimResult
 from repro.experiments import figures, tables
 from repro.experiments.campaigns import CAMPAIGNS
@@ -78,8 +79,10 @@ from repro.workloads.catalog import (
     ALL_WORKLOADS,
     WORKLOADS,
     build_trace,
+    clear_trace_cache,
     known_workload,
     resolve_seed,
+    trace_cache_stats,
 )
 from repro.workloads.store import TRACE_DIR_ENV, TraceStore, default_trace_store
 
@@ -130,6 +133,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.profile:
         profiling.disable()
         print(profiling.format_report(), file=sys.stderr)
+        print(f"profile: kernel={kernel_mode()}", file=sys.stderr)
     return 0
 
 
@@ -266,6 +270,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.profile:
         profiling.disable()
         print(profiling.format_report(), file=sys.stderr)
+        print(f"profile: kernel={kernel_mode()}", file=sys.stderr)
     return 0
 
 
@@ -315,8 +320,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
                   f"{stats['directory']}")
         return 0
     # clear
+    disk = store.stats() if args.stats else None
     removed = store.clear()
     print(f"removed {removed} stored trace(s) from {store.directory}")
+    if args.stats:
+        cache = trace_cache_stats()
+        clear_trace_cache()
+        print(f"  on-disk: {disk['bytes'] / (1024 * 1024):.1f} MB reclaimed")
+        print(f"  in-process LRU: {cache['entries']} entr"
+              f"{'y' if cache['entries'] == 1 else 'ies'} dropped, "
+              f"{cache['bytes'] / (1024 * 1024):.1f} MB charged "
+              f"({cache['precompute_bytes'] / (1024 * 1024):.1f} MB "
+              "precompute planes)")
     return 0
 
 
@@ -492,8 +507,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
     run_p.add_argument("--profile", action="store_true",
                        help="print per-phase wall-clock timings (trace "
-                            "build / columnize / simulate / cache IO) "
-                            "after the run")
+                            "build / columnize / precompute / simulate / "
+                            "kernel-c or kernel-python / cache IO) and "
+                            "the active kernel after the run")
     run_p.set_defaults(fn=cmd_run)
 
     table_p = sub.add_parser("table", help="render a paper table")
@@ -553,10 +569,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "./repro-service.sock)")
         p.add_argument("--profile", action="store_true",
                        help="print per-phase wall-clock timings (trace "
-                            "build / columnize / simulate / cache IO) "
-                            "after the campaign; phases record in this "
-                            "process only, so profile serial local runs "
-                            "for the full picture")
+                            "build / columnize / precompute / simulate / "
+                            "kernel-c or kernel-python / cache IO) and "
+                            "the active kernel after the campaign; "
+                            "phases record in this process only, so "
+                            "profile serial local runs for the full "
+                            "picture")
 
     campaign_run_p = campaign_sub.add_parser(
         "run", help="execute a campaign (resumes automatically if a "
@@ -697,6 +715,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_clear_p = trace_sub.add_parser(
         "clear", help="delete every stored trace")
+    trace_clear_p.add_argument(
+        "--stats", action="store_true",
+        help="report reclaimed on-disk bytes and the in-process trace "
+             "LRU occupancy (packed columns + attached precompute "
+             "planes) dropped alongside")
     _trace_dir_arg(trace_clear_p)
     trace_clear_p.set_defaults(fn=cmd_trace)
 

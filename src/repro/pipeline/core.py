@@ -127,6 +127,13 @@ class CoreModel:
             gc.disable()
         try:
             with profiling.phase("simulate"):
+                if stage_trace is None:
+                    from repro.pipeline import fastsim
+
+                    if fastsim.fast_sim_enabled():
+                        result = fastsim.try_run(self, trace, warmup, workload)
+                        if result is not None:
+                            return result
                 return self._run(trace, warmup, workload, stage_trace)
         finally:
             if gc_was_enabled:

@@ -27,6 +27,8 @@ paths exist alongside the reference implementations:
   :func:`table_index`/:func:`tag_hash` per component per lookup.
 """
 
+import numpy as np
+
 from repro.util.bits import MASK64
 
 # Large odd multipliers for avalanche mixing; the exact constants are not
@@ -103,3 +105,57 @@ def tag_hash(key: int, tag_bits: int, extra: int = 0) -> int:
         return (scrambled_tag_key(key) >> 17) & ((1 << tag_bits) - 1)
     scrambled = _scramble((key * TAG_KEY_MULT) ^ (extra * _MIX1))
     return (scrambled >> 17) & ((1 << tag_bits) - 1)
+
+
+# ---------------------------------------------------------------------------
+# Batched (numpy) variants
+#
+# The precompute plane (pipeline/precompute.py) hashes whole traces at once:
+# one uint64 array of keys, one uint64 array of per-µop context values,
+# vectorised over numpy instead of per-key memo dicts.  All three functions
+# below are bit-identical to their scalar counterparts (pinned by
+# tests/property/test_property_hashing.py); uint64 arithmetic wraps mod 2**64
+# exactly like the explicit MASK64 masking of the scalar path.
+# ---------------------------------------------------------------------------
+
+_MIX1_U64 = np.uint64(_MIX1)
+_MIX2_U64 = np.uint64(_MIX2)
+_TAG_KEY_MULT_U64 = np.uint64(TAG_KEY_MULT)
+
+
+def scramble_array(keys: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_scramble` over a uint64 array (returns a new array)."""
+    x = keys.astype(np.uint64, copy=True)
+    x ^= x >> np.uint64(33)
+    x *= _MIX1_U64
+    x ^= x >> np.uint64(29)
+    x *= _MIX2_U64
+    x ^= x >> np.uint64(32)
+    return x
+
+
+def table_index_array(keys: np.ndarray, index_bits: int,
+                      extra: np.ndarray | None = None) -> np.ndarray:
+    """Vectorised :func:`table_index`: per-element ``extra`` context array."""
+    if index_bits <= 0:
+        raise ValueError("index width must be positive")
+    if extra is None:
+        mixed = keys.astype(np.uint64, copy=False)
+    else:
+        mixed = keys.astype(np.uint64, copy=False) ^ (
+            extra.astype(np.uint64, copy=False) * _MIX2_U64
+        )
+    return scramble_array(mixed) & np.uint64((1 << index_bits) - 1)
+
+
+def tag_hash_array(keys: np.ndarray, tag_bits: int,
+                   extra: np.ndarray | None = None) -> np.ndarray:
+    """Vectorised :func:`tag_hash`: per-element ``extra`` context array."""
+    if tag_bits <= 0:
+        raise ValueError("tag width must be positive")
+    mixed = keys.astype(np.uint64, copy=False) * _TAG_KEY_MULT_U64
+    if extra is not None:
+        mixed = mixed ^ (extra.astype(np.uint64, copy=False) * _MIX1_U64)
+    return (scramble_array(mixed) >> np.uint64(17)) & np.uint64(
+        (1 << tag_bits) - 1
+    )

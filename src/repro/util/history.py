@@ -34,6 +34,8 @@ being reachable.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.util.bits import MASK64
 from repro.util.hashing import _MIX1, _MIX2
 
@@ -70,6 +72,23 @@ def fold_wide(value: int, width: int) -> int:
         value >>= width
     return folded
 
+
+def fold_array(values: np.ndarray, width: int = FOLD_WIDTH) -> np.ndarray:
+    """Vectorised :func:`repro.util.bits.fold_value` over a uint64 array.
+
+    Like ``fold_value`` — and unlike :func:`fold_wide` — this operates on
+    the unsigned-64 domain: each element contributes only its low 64 bits
+    (the :data:`FOLD_HORIZON`).  Bit-identical to the scalar fold, pinned
+    by ``tests/property/test_property_history.py``.
+    """
+    if width <= 0:
+        raise ValueError("fold width must be positive")
+    v = values.astype(np.uint64, copy=False)
+    mask = np.uint64(min((1 << width) - 1, MASK64))
+    folded = v & mask
+    for shift in range(width, 64, width):
+        folded = folded ^ ((v >> np.uint64(shift)) & mask)
+    return folded
 
 
 class FoldedHistoryRegister:

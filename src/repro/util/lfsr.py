@@ -5,6 +5,8 @@ Feedback Shift Register."  We implement a Galois LFSR with a maximal-length
 tap polynomial so the bit stream has period ``2**width - 1``.
 """
 
+import numpy as np
+
 # Maximal-length Galois tap masks (taps for x^w + ... + 1 polynomials).
 _TAPS = {
     8: 0xB8,
@@ -12,6 +14,41 @@ _TAPS = {
     24: 0xE10000,
     32: 0xA3000000,
 }
+
+# Per-width full state cycle and state->offset lookup, built on first use.
+# A maximal-length LFSR visits every nonzero state exactly once per period,
+# so the cycle is one shared ring: any seed's future state *sequence* is a
+# slice of it starting after the seed's offset.  This is what lets the fast
+# paths batch-materialise pseudo-random draws as array indexing
+# (pipeline/precompute.py) instead of stepping per event.  Only widths whose
+# full period is small enough to tabulate get a table; the wide registers
+# fall back to scalar stepping in :meth:`GaloisLFSR.sequence`.
+_PERIOD_TABLE_MAX_WIDTH = 16
+
+_PERIOD_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _period_tables(width: int) -> tuple[np.ndarray, np.ndarray] | None:
+    if width > _PERIOD_TABLE_MAX_WIDTH:
+        return None
+    cached = _PERIOD_CACHE.get(width)
+    if cached is not None:
+        return cached
+    taps = _TAPS[width]
+    period = (1 << width) - 1
+    states = np.empty(period, dtype=np.uint32)
+    offsets = np.zeros(period + 1, dtype=np.uint32)
+    state = 1
+    for k in range(period):
+        states[k] = state
+        offsets[state] = k
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= taps
+    cached = (states, offsets)
+    _PERIOD_CACHE[width] = cached
+    return cached
 
 
 class GaloisLFSR:
@@ -43,6 +80,58 @@ class GaloisLFSR:
         if not 0 < n <= self.width:
             raise ValueError(f"can draw between 1 and {self.width} bits")
         return self.step() & ((1 << n) - 1)
+
+    def sequence(self, n: int) -> np.ndarray:
+        """The next *n* states as a uint32 array, **without** advancing.
+
+        ``sequence(n)[k]`` equals the state after ``k + 1`` calls to
+        :meth:`step` from the current state (property-tested bit-identical).
+        Consumers that materialise draws up front (the precompute fast
+        paths) index this array and finally :meth:`advance` past the draws
+        they consumed.  Cost is O(n) indexing off a per-width period table
+        built once per process.
+        """
+        if n < 0:
+            raise ValueError("sequence length cannot be negative")
+        tables = _period_tables(self.width)
+        if tables is None:
+            return self._sequence_scalar(n)
+        states, offsets = tables
+        period = states.shape[0]
+        start = int(offsets[self.state]) + 1
+        idx = (np.arange(start, start + n, dtype=np.int64)) % period
+        return states[idx]
+
+    def _sequence_scalar(self, n: int) -> np.ndarray:
+        """Stepping fallback for widths too wide to tabulate."""
+        out = np.empty(n, dtype=np.uint32)
+        state = self.state
+        taps = self._taps
+        for k in range(n):
+            lsb = state & 1
+            state >>= 1
+            if lsb:
+                state ^= taps
+            out[k] = state
+        return out
+
+    def advance(self, n: int) -> int:
+        """Advance *n* steps (O(1) via the period table when tabulated);
+        returns the new state."""
+        if n < 0:
+            raise ValueError("cannot advance backwards")
+        if n:
+            tables = _period_tables(self.width)
+            if tables is None:
+                seq = self._sequence_scalar(n)
+                self.state = int(seq[-1])
+            else:
+                states, offsets = tables
+                period = states.shape[0]
+                self.state = int(
+                    states[(int(offsets[self.state]) + n) % period]
+                )
+        return self.state
 
     def chance(self, probability_log2: int) -> bool:
         """Return True with probability ``1 / 2**probability_log2``.

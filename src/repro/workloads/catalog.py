@@ -139,8 +139,11 @@ ALL_WORKLOADS = tuple(w.name for w in WORKLOADS)
 # many scenario workloads must not grow it without limit, so inserts evict
 # least-recently-used traces past an entry count and a packed-byte budget
 # (tunable via the environment, read per call so tests can flip them).
+# Budget accounting charges each trace its packed bytes *plus* any
+# precompute planes attached to it (``trace._plane_cache``, see
+# pipeline/precompute.py) — planes grow after insertion, so occupancy is
+# re-summed at insert time rather than tracked incrementally.
 _TRACE_CACHE: OrderedDict[tuple[str, int, int], Trace] = OrderedDict()
-_TRACE_CACHE_BYTES = 0
 
 #: Environment variables bounding the per-process trace cache.
 TRACE_CACHE_ENTRIES_ENV = "REPRO_TRACE_CACHE_ENTRIES"
@@ -176,6 +179,28 @@ def _cache_budgets() -> tuple[int, int]:
     return entries, int(mb * 1024 * 1024)
 
 
+def _plane_bytes(trace: Trace) -> int:
+    """Bytes of precompute planes attached to *trace* (0 when none).
+
+    Inspects the attribute generically so the catalog stays import-free of
+    the pipeline layer; the attribute contract lives in
+    ``pipeline/precompute.py`` (every plane exposes ``nbytes``).
+    """
+    planes = getattr(trace, "_plane_cache", None)
+    if not planes:
+        return 0
+    return sum(int(plane.nbytes) for plane in planes.values())
+
+
+def _charged_bytes(trace: Trace) -> int:
+    """What the LRU budget charges one cached trace: packed + planes."""
+    return trace.nbytes + _plane_bytes(trace)
+
+
+def _cache_bytes() -> int:
+    return sum(_charged_bytes(trace) for trace in _TRACE_CACHE.values())
+
+
 def _cache_insert(key: tuple[str, int, int], trace: Trace) -> None:
     """Insert (or refresh) a trace and evict LRU entries past the budgets.
 
@@ -183,19 +208,13 @@ def _cache_insert(key: tuple[str, int, int], trace: Trace) -> None:
     larger than the whole byte budget still caches (budget-keeping resumes
     with the next insert).
     """
-    global _TRACE_CACHE_BYTES
-    nbytes = trace.nbytes
-    old = _TRACE_CACHE.pop(key, None)
-    if old is not None:
-        _TRACE_CACHE_BYTES -= old.nbytes
+    _TRACE_CACHE.pop(key, None)
     _TRACE_CACHE[key] = trace
-    _TRACE_CACHE_BYTES += nbytes
     max_entries, max_bytes = _cache_budgets()
     while len(_TRACE_CACHE) > 1 and (
-        len(_TRACE_CACHE) > max_entries or _TRACE_CACHE_BYTES > max_bytes
+        len(_TRACE_CACHE) > max_entries or _cache_bytes() > max_bytes
     ):
-        _, evicted = _TRACE_CACHE.popitem(last=False)
-        _TRACE_CACHE_BYTES -= evicted.nbytes
+        _TRACE_CACHE.popitem(last=False)
 
 
 def _cache_get(key: tuple[str, int, int]) -> Trace | None:
@@ -225,14 +244,23 @@ def cached_trace(name: str, n_uops: int, seed: int | None = None) -> Trace | Non
 def seed_trace(name: str, n_uops: int, seed: int | None, trace: Trace) -> None:
     """Install an externally materialised trace (e.g. attached from the
     shared-memory plane) under its identity so :func:`build_trace` hits."""
-    _cache_insert((name, n_uops, resolve_seed(name, seed)), trace)
+    key = (name, n_uops, resolve_seed(name, seed))
+    trace.store_identity = key
+    _cache_insert(key, trace)
 
 
 def trace_cache_stats() -> dict:
-    """Entry/byte occupancy and lifetime build/load counters."""
+    """Entry/byte occupancy and lifetime build/load counters.
+
+    ``bytes`` is the total the LRU budget enforces (packed columns plus
+    attached precompute planes); ``precompute_bytes`` breaks out the plane
+    share so ``repro trace clear --stats`` reports it honestly.
+    """
+    precompute = sum(_plane_bytes(trace) for trace in _TRACE_CACHE.values())
     return {
         "entries": len(_TRACE_CACHE),
-        "bytes": _TRACE_CACHE_BYTES,
+        "bytes": _cache_bytes(),
+        "precompute_bytes": precompute,
         "generations": _GEN_COUNT,
         "store_loads": _STORE_LOAD_COUNT,
     }
@@ -320,12 +348,16 @@ def build_trace(name: str, n_uops: int, seed: int | None = None, cache: bool = T
         loaded = store.get(name, n_uops, effective_seed)
         if loaded is not None:
             _STORE_LOAD_COUNT += 1
+            loaded.store_identity = key
             with profiling.phase("trace-columnize"):
                 loaded.columns()
             _cache_insert(key, loaded)
             return loaded
     with profiling.phase("trace-build"):
         trace = _generate_trace(name, n_uops, effective_seed)
+    # Stamp the catalog identity so derived products (precompute planes)
+    # can persist themselves next to the trace's store entry.
+    trace.store_identity = key
     if cache:
         # Materialise the columnar view once per cached trace, so every
         # simulation that reuses the trace skips the per-µop rederivation
@@ -340,6 +372,4 @@ def build_trace(name: str, n_uops: int, seed: int | None = None, cache: bool = T
 
 def clear_trace_cache() -> None:
     """Drop every cached trace (test isolation, memory pressure)."""
-    global _TRACE_CACHE_BYTES
     _TRACE_CACHE.clear()
-    _TRACE_CACHE_BYTES = 0

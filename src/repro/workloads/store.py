@@ -191,6 +191,92 @@ class TraceStore:
         self.hits += 1
         return Trace.from_packed(packed, name=name)
 
+    # -- auxiliary derived arrays ----------------------------------------
+    #
+    # Derived per-trace products that are expensive to recompute (the
+    # precompute plane of pipeline/precompute.py) persist *inside* the
+    # owning trace's entry directory, under an aux subdirectory named by
+    # kind and version: ``<entry>/aux-<kind>-v<version>/``.  They share the
+    # entry's lifecycle — `clear` and corruption quarantine of the trace
+    # remove them — while version bumps orphan only the aux payload.  The
+    # store stays agnostic of what the arrays mean: callers hand over and
+    # get back ``{name: ndarray}`` plus a JSON-able meta dict.
+
+    def _aux_dir(self, key: str, kind: str, version: int) -> Path:
+        return self._entry_dir(key) / f"aux-{kind}-v{version}"
+
+    def put_aux(self, name: str, n_uops: int, seed: int, kind: str,
+                version: int, arrays: dict[str, np.ndarray],
+                meta: dict) -> Path | None:
+        """Persist derived arrays next to the owning trace entry.
+
+        Returns the aux directory, or ``None`` when the trace entry itself
+        is absent (aux data never outlives its trace).  Same temp-dir +
+        rename discipline and same "IO failure is not an error" stance as
+        :meth:`put`.
+        """
+        key = trace_key(name, n_uops, seed)
+        if not self._entry_dir(key).is_dir():
+            return None
+        final = self._aux_dir(key, kind, version)
+        if final.is_dir():
+            return final
+        payload = dict(meta)
+        payload["kind"] = kind
+        payload["version"] = version
+        payload["columns"] = {col: [str(arr.dtype), int(arr.shape[0])]
+                              for col, arr in arrays.items()}
+        payload["nbytes"] = sum(int(arr.nbytes) for arr in arrays.values())
+        tmp = final.with_name(f"{final.name}.tmp.{os.getpid()}")
+        try:
+            with profiling.phase("trace-store-save"):
+                tmp.mkdir(parents=True, exist_ok=True)
+                for col, arr in arrays.items():
+                    np.save(tmp / f"{col}.npy", arr, allow_pickle=False)
+                (tmp / _META_NAME).write_text(
+                    json.dumps(payload, sort_keys=True, indent=1))
+                try:
+                    os.rename(tmp, final)
+                except OSError:
+                    shutil.rmtree(tmp, ignore_errors=True)  # lost the race
+            self.stores += 1
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    def get_aux(self, name: str, n_uops: int, seed: int, kind: str,
+                version: int,
+                mmap: bool = True) -> tuple[dict, dict[str, np.ndarray]] | None:
+        """Load ``(meta, arrays)`` for one aux payload, or ``None``.
+
+        Validates dtype and length of every stored column against the aux
+        meta; corrupt payloads are quarantine-deleted (aux only — the
+        trace entry is untouched) and regenerated by the caller.
+        """
+        key = trace_key(name, n_uops, seed)
+        aux = self._aux_dir(key, kind, version)
+        if not aux.is_dir():
+            return None
+        try:
+            with profiling.phase("trace-store-load"):
+                meta = json.loads((aux / _META_NAME).read_text())
+                if meta.get("kind") != kind or meta.get("version") != version:
+                    raise ValueError("aux metadata does not match the request")
+                arrays = {}
+                for col, (dtype, length) in meta["columns"].items():
+                    arr = np.load(aux / f"{col}.npy",
+                                  mmap_mode="r" if mmap else None,
+                                  allow_pickle=False)
+                    if str(arr.dtype) != dtype or arr.shape != (length,):
+                        raise ValueError(f"aux column {col} does not match")
+                    arrays[col] = arr
+        except (OSError, ValueError, KeyError, TypeError):
+            self.corrupt += 1
+            shutil.rmtree(aux, ignore_errors=True)
+            return None
+        self.hits += 1
+        return meta, arrays
+
     # -- maintenance -----------------------------------------------------
 
     def entries(self) -> list[dict]:
@@ -222,13 +308,38 @@ class TraceStore:
                     removed += 1
         return removed
 
+    def aux_entries(self) -> list[dict]:
+        """Metadata rows for every readable aux payload (precompute planes)."""
+        rows = []
+        if not self.directory.is_dir():
+            return rows
+        for meta_path in sorted(self.directory.glob(f"??/*/aux-*/{_META_NAME}")):
+            if ".tmp." in meta_path.parent.name:
+                continue
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):
+                continue
+            meta["key"] = meta_path.parent.parent.name
+            meta["path"] = str(meta_path.parent)
+            rows.append(meta)
+        return rows
+
     def stats(self) -> dict:
-        """Entry count, total payload bytes and lifetime hit/miss counters."""
+        """Entry count, total payload bytes and lifetime hit/miss counters.
+
+        ``aux_entries`` / ``aux_bytes`` account the derived precompute
+        payloads separately from the packed trace bytes, so cache-budget
+        reports stay honest about what the store actually holds.
+        """
         rows = self.entries()
+        aux_rows = self.aux_entries()
         return {
             "directory": str(self.directory),
             "entries": len(rows),
             "bytes": sum(int(row.get("nbytes", 0)) for row in rows),
+            "aux_entries": len(aux_rows),
+            "aux_bytes": sum(int(row.get("nbytes", 0)) for row in aux_rows),
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,

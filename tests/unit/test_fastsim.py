@@ -1,0 +1,119 @@
+"""The fast cycle loops are drop-in replacements for the legacy model.
+
+Three implementations of the same scheduler exist: the legacy sequential
+``CoreModel._run``, the precompute-driven pure-Python loop
+(``fastsim._run_python``) and the optional compiled kernel
+(``pipeline/ckernel.py``).  Selection is environment-driven
+(``REPRO_FAST_SIM`` / ``REPRO_FAST_KERNEL``), so these tests run the
+*same* configuration under every mode and require dataclass-equal
+results — the tier-1 complement to the full golden grid, which CI also
+replays per mode.  Fallback rules (unsupported predictor families,
+pre-warmed branch state) are pinned here too: falling back must be
+silent and produce the legacy answer, never a wrong fast one.
+"""
+
+import pytest
+
+from repro.experiments.runner import make_predictor
+from repro.pipeline import ckernel, fastsim
+from repro.pipeline.config import CoreConfig, RecoveryMode
+from repro.pipeline.core import CoreModel, simulate
+from repro.workloads.catalog import build_trace
+
+_N = 4000
+_WARMUP = 1000
+
+#: (workload, predictor name, recovery) triples covering every family the
+#: fast paths inline — LVP, stride, 2Δ-stride, VTAGE, oracle, no-VP — and
+#: both recovery mechanisms.
+_CONFIGS = (
+    ("gcc", "vtage", "squash"),
+    ("gcc", "vtage", "reissue"),
+    ("wupwise", "2dstride", "squash"),
+    ("gzip", "stride", "reissue"),
+    ("crafty", "lvp", "squash"),
+    ("milc", "oracle", "squash"),
+    ("h264ref", "none", "squash"),
+)
+
+_MODES = ("legacy", "python", "kernel")
+
+
+def _set_mode(monkeypatch, mode: str) -> None:
+    if mode == "legacy":
+        monkeypatch.setenv(fastsim.FAST_SIM_ENV, "0")
+        monkeypatch.delenv(fastsim.FAST_KERNEL_ENV, raising=False)
+    elif mode == "python":
+        monkeypatch.delenv(fastsim.FAST_SIM_ENV, raising=False)
+        monkeypatch.setenv(fastsim.FAST_KERNEL_ENV, "0")
+    else:
+        monkeypatch.delenv(fastsim.FAST_SIM_ENV, raising=False)
+        monkeypatch.delenv(fastsim.FAST_KERNEL_ENV, raising=False)
+
+
+def _run(workload: str, predictor_name: str, recovery: str):
+    trace = build_trace(workload, _N + _WARMUP)
+    predictor = make_predictor(predictor_name, recovery=recovery)
+    config = CoreConfig(recovery=RecoveryMode(recovery))
+    return simulate(trace, predictor, config=config, warmup=_WARMUP,
+                    workload=workload)
+
+
+@pytest.mark.parametrize("workload,predictor_name,recovery", _CONFIGS)
+def test_modes_bit_identical(monkeypatch, workload, predictor_name, recovery):
+    """legacy / fast-python / kernel produce dataclass-equal results."""
+    results = {}
+    for mode in _MODES:
+        _set_mode(monkeypatch, mode)
+        results[mode] = _run(workload, predictor_name, recovery)
+    assert results["python"] == results["legacy"]
+    assert results["kernel"] == results["legacy"]
+
+
+def test_unsupported_predictor_falls_back(monkeypatch):
+    """Hybrids are outside the inlined families: try_run declines."""
+    monkeypatch.delenv(fastsim.FAST_SIM_ENV, raising=False)
+    trace = build_trace("gcc", 2000)
+    model = CoreModel(predictor=make_predictor("vtage-2dstride"))
+    assert fastsim._classify(model.predictor) is None
+    assert fastsim.try_run(model, trace, 0, "gcc") is None
+
+
+def test_prewarmed_branch_unit_falls_back(monkeypatch):
+    """The plane assumes a fresh branch unit; warmed state declines."""
+    monkeypatch.delenv(fastsim.FAST_SIM_ENV, raising=False)
+    trace = build_trace("gcc", 2000)
+    model = CoreModel(predictor=None)
+    model.branch_unit.process_scalar(8, 0x400, True, 0x440)
+    assert fastsim.try_run(model, trace, 0, "gcc") is None
+
+
+def test_kernel_mode_reports_selected_path(monkeypatch):
+    monkeypatch.setenv(fastsim.FAST_SIM_ENV, "0")
+    assert fastsim.kernel_mode() == "off"
+    monkeypatch.delenv(fastsim.FAST_SIM_ENV, raising=False)
+    monkeypatch.setenv(fastsim.FAST_KERNEL_ENV, "0")
+    assert fastsim.kernel_mode() == "python"
+    monkeypatch.delenv(fastsim.FAST_KERNEL_ENV, raising=False)
+    expected = "c" if ckernel.kernel_available() else "python"
+    assert fastsim.kernel_mode() == expected
+
+
+def test_compiled_kernel_actually_runs(monkeypatch):
+    """When a C toolchain exists, the kernel path must not silently fall
+    back to Python for a supported config (that would erase the speedup
+    this PR exists for)."""
+    if not ckernel.kernel_available():
+        pytest.skip("no C toolchain: compiled kernel unavailable")
+    monkeypatch.delenv(fastsim.FAST_SIM_ENV, raising=False)
+    monkeypatch.delenv(fastsim.FAST_KERNEL_ENV, raising=False)
+    trace = build_trace("gcc", 3000)
+    model = CoreModel(predictor=make_predictor("vtage"))
+    from repro.pipeline.precompute import trace_plane, vtage_plane
+
+    plane = trace_plane(trace)
+    vplane = vtage_plane(trace, model.predictor)
+    result = ckernel.try_run(model, trace, 500, "gcc", fastsim._P_VTAGE,
+                             plane, vplane)
+    assert result is not None
+    assert result.cycles > 0
