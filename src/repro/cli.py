@@ -61,7 +61,9 @@ from repro.engine.checkpoint import (
 )
 from repro.engine.client import ServiceClient, ServiceError
 from repro.engine.executors import JOBS_ENV
+from repro.engine.faults import FAULTS_ENV, FaultPlan, FaultSpecError
 from repro.engine.job import SimJob
+from repro.engine.queue import JOB_TIMEOUT_ENV, QUEUE_BOUND_ENV
 from repro.engine.service import SOCKET_ENV, run_service
 from repro.pipeline.fastsim import kernel_mode
 from repro.pipeline.result import SimResult
@@ -356,6 +358,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.jobs,
         cache=default_engine().cache,
         journal_path=args.journal,
+        max_depth=args.queue_bound,
+        job_timeout=args.job_timeout,
+        chaos=args.chaos,
     )
 
 
@@ -452,6 +457,77 @@ def cmd_results(args: argparse.Namespace) -> int:
         return 1
     for raw in response["results"]:
         print(SimResult.from_dict(raw).summary_line())
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    try:
+        with ServiceClient(args.socket, timeout=args.timeout) as client:
+            health = client.health()
+    except ServiceError as exc:
+        print(f"unhealthy: {exc}")
+        return 2
+    workers = health["workers"]
+    bound = health["max_depth"]
+    depth = (f"{health['depth']}/{bound}" if bound
+             else str(health["depth"]))
+    timeout = health["job_timeout"]
+    print(f"{'ok' if health['ok'] else 'unhealthy'}: pid {health['pid']}, "
+          f"{workers['alive']}/{workers['total']} worker(s) alive "
+          f"({workers['busy']} busy), depth {depth}, "
+          f"job timeout {f'{timeout:g}s' if timeout else 'off'}")
+    print(f"lifetime: {health['restarts']} worker restart(s), "
+          f"{health['timeouts']} job timeout(s), "
+          f"{health['rejected']} batch(es) shed as overloaded")
+    degraded = health["degraded"]
+    if health["degraded_mode"]:
+        flags = ", ".join(f"{name}={count}"
+                          for name, count in sorted(degraded.items())
+                          if count)
+        print(f"DEGRADED: {flags}")
+    else:
+        print("degraded: no (journal, cache and shm all healthy)")
+    if health.get("chaos"):
+        print("chaos: a fault plan is active (inspect with `repro chaos`)")
+    if not health["ok"]:
+        return 2
+    return 1 if health["degraded_mode"] else 0
+
+
+def _print_fault_plan(plan: dict) -> None:
+    print(f"seed: {plan['seed']}")
+    print("rules:")
+    for rule in plan["rules"]:
+        print(f"  {rule}")
+    if plan["hits"]:
+        print("site traffic (hits/fired):")
+        for site in sorted(plan["hits"]):
+            print(f"  {site}: {plan['hits'][site]}"
+                  f"/{plan['fired'].get(site, 0)}")
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.action == "check":
+        try:
+            plan = FaultPlan.parse(args.spec, seed=args.seed)
+        except FaultSpecError as exc:
+            raise SystemExit(f"bad fault spec: {exc}") from None
+        print(f"valid plan ({len(plan.rules)} rule(s)); run it with:")
+        print(f"  {FAULTS_ENV}='{plan.to_spec()}' "
+              f"REPRO_FAULTS_SEED={plan.seed} repro serve --chaos ...")
+        _print_fault_plan(plan.describe())
+        return 0
+    # show: query a --chaos daemon for its live plan and counters
+    try:
+        with ServiceClient(args.socket) as client:
+            plan = client.chaos()
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if plan is None:
+        print("chaos daemon reachable, but no fault plan is active "
+              f"(set ${FAULTS_ENV} before starting it)")
+        return 0
+    _print_fault_plan(plan)
     return 0
 
 
@@ -623,6 +699,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--journal", default=None, metavar="PATH",
                          help="append every completed job to this JSONL "
                               "journal and replay it on restart")
+    serve_p.add_argument("--queue-bound", type=int, default=None, metavar="N",
+                         help="admission control: reject submits once N "
+                              "jobs are outstanding, with an explicit "
+                              "'overloaded' response clients retry after "
+                              f"backoff (default: ${QUEUE_BOUND_ENV} or "
+                              "unbounded)")
+    serve_p.add_argument("--job-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="kill a worker that holds one job longer "
+                              "than this and requeue the job (default: "
+                              f"${JOB_TIMEOUT_ENV} or no timeout)")
+    serve_p.add_argument("--chaos", action="store_true",
+                         help="serve the 'chaos' introspection op and "
+                              f"export the ${FAULTS_ENV} fault plan to "
+                              "spawned workers (fault-matrix testing)")
     serve_p.set_defaults(fn=cmd_serve)
 
     submit_p = sub.add_parser(
@@ -658,6 +749,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _socket_arg(status_p)
     status_p.set_defaults(fn=cmd_service_status)
+
+    health_p = sub.add_parser(
+        "health",
+        help="probe a running service's health (exit 0/1/2)",
+        description="One-shot health probe for monitoring: exit 0 when "
+                    "the daemon is healthy, 1 when it is serving but "
+                    "degraded (journal/cache/shm failures absorbed), 2 "
+                    "when it is unreachable or has no live workers.  "
+                    "Prints worker aliveness, queue depth against the "
+                    "admission bound, and the degraded-mode counters.",
+    )
+    _socket_arg(health_p)
+    health_p.add_argument("--timeout", type=float, default=5.0,
+                          metavar="SECONDS",
+                          help="probe deadline (default: 5s)")
+    health_p.set_defaults(fn=cmd_health)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="validate fault-injection plans or inspect a chaos daemon",
+        description="Work with the deterministic fault-injection plane "
+                    f"(${FAULTS_ENV}).  A plan is a seeded list of "
+                    "site:action[:arg]@trigger rules; triggers are "
+                    "counter-based (hit numbers, every=N, first=N, p=F), "
+                    "so the same plan injects at the same points on "
+                    "every run.  See DESIGN.md, 'Fault model & "
+                    "degradation ladder'.",
+    )
+    chaos_sub = chaos_p.add_subparsers(dest="action", required=True)
+
+    chaos_check_p = chaos_sub.add_parser(
+        "check", help="parse and describe a fault spec (or @plan.json)")
+    chaos_check_p.add_argument("spec",
+                               help="fault spec, e.g. "
+                                    "'worker.execute:crash@2;"
+                                    "journal.write:torn@every=3' or "
+                                    "@plan.json")
+    chaos_check_p.add_argument("--seed", type=int, default=None,
+                               help="plan seed for p= triggers "
+                                    "(default: $REPRO_FAULTS_SEED or 0)")
+    chaos_check_p.set_defaults(fn=cmd_chaos)
+
+    chaos_show_p = chaos_sub.add_parser(
+        "show", help="show the live plan of a `repro serve --chaos` daemon")
+    _socket_arg(chaos_show_p)
+    chaos_show_p.set_defaults(fn=cmd_chaos)
 
     results_p = sub.add_parser(
         "results",

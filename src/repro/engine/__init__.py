@@ -27,12 +27,23 @@ from repro.engine.campaign import (
 )
 from repro.engine.checkpoint import CampaignJournal, JournalError, JournalHeader
 from repro.engine.client import (
+    RetryPolicy,
     ServiceClient,
     ServiceError,
     ServiceExecutor,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
     service_engine,
     service_running,
     wait_for_service,
+)
+from repro.engine.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    install_plan,
 )
 from repro.engine.executors import (
     JOBS_ENV,
@@ -49,7 +60,13 @@ from repro.engine.job import (
     reset_run_count,
     run_count,
 )
-from repro.engine.queue import JobFailed, JobQueue, QueueStats, WorkerPool
+from repro.engine.queue import (
+    JobFailed,
+    JobQueue,
+    QueueOverloaded,
+    QueueStats,
+    WorkerPool,
+)
 from repro.engine.service import SOCKET_ENV, SimService, run_service
 
 __all__ = [
@@ -62,22 +79,32 @@ __all__ = [
     "DEFAULT_MEASURE",
     "DEFAULT_WARMUP",
     "Engine",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedFault",
     "JobFailed",
     "JobQueue",
     "JournalError",
     "JournalHeader",
     "JOBS_ENV",
     "PoolExecutor",
+    "QueueOverloaded",
     "QueueStats",
     "ResultCache",
+    "RetryPolicy",
     "SOCKET_ENV",
     "SerialExecutor",
     "ServiceClient",
     "ServiceError",
     "ServiceExecutor",
+    "ServiceOverloaded",
+    "ServiceTimeout",
+    "ServiceUnavailable",
     "SimJob",
     "SimService",
     "WorkerPool",
+    "install_plan",
     "configure_default_engine",
     "default_cache_dir",
     "default_engine",

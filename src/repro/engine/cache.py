@@ -4,8 +4,11 @@ Every cache entry is keyed by the owning job's content key (a digest of
 the full job spec, including the core-config content), so a hit is only
 possible for a spec-identical simulation.  The disk layout is one small
 JSON file per result under ``<dir>/<key[:2]>/<key>.json`` — entries are
-written atomically (temp file + rename) so concurrent executors never
-observe torn files.
+written through :func:`repro.util.atomicio.atomic_write_text` (temp
+file, fsync, rename) so neither concurrent executors nor a crash
+mid-write can ever leave a torn committed file, and every write passes
+the ``cache.write`` fault-injection site
+(:mod:`repro.engine.faults`) so the chaos suite can prove it.
 
 The disk layer is optional: by default the engine runs memory-only, and
 persists when ``REPRO_CACHE_DIR`` (or the CLI ``--cache-dir``-equivalent
@@ -21,6 +24,7 @@ from pathlib import Path
 from repro.engine.job import SimJob
 from repro.pipeline.result import SimResult
 from repro.util import profiling
+from repro.util.atomicio import atomic_write_text
 
 #: Environment variable selecting the persistent cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -45,6 +49,7 @@ class ResultCache:
         self.disk_hits = 0
         self.misses = 0
         self.stores = 0
+        self.write_failures = 0  # failed persists (results stay in memory)
 
     # -- key plumbing ---------------------------------------------------
 
@@ -124,11 +129,12 @@ class ResultCache:
             with profiling.phase("result-cache-io"):
                 path = self._path(key)
                 path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = path.with_suffix(f".tmp.{os.getpid()}")
-                tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
-                os.replace(tmp, path)
+                atomic_write_text(
+                    path, json.dumps(entry, sort_keys=True, indent=1),
+                    site="cache.write",
+                )
         except (OSError, TypeError, ValueError):
-            pass
+            self.write_failures += 1
 
     # -- maintenance ----------------------------------------------------
 
@@ -169,4 +175,5 @@ class ResultCache:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "write_failures": self.write_failures,
         }

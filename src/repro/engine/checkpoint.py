@@ -40,6 +40,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.engine import faults
 from repro.engine.job import SimJob
 from repro.pipeline.result import SimResult
 
@@ -237,7 +238,18 @@ class CampaignJournal:
         self._good_end = 0
 
     def record(self, job: SimJob, result: SimResult) -> None:
-        """Durably append one completed job (flush + fsync before return)."""
+        """Durably append one completed job (flush + fsync before return).
+
+        Raises :class:`OSError` when the append fails — including under
+        the ``journal.write`` fault site, whose ``torn`` action writes
+        half the record and stops (exactly what a kill mid-append leaves
+        behind; the loader's torn-tail handling recovers it) and whose
+        ``fsync`` action fails after the buffered write (the record may
+        or may not be durable; replay is idempotent either way).  The
+        caller decides whether a failed append is fatal (campaigns) or a
+        degraded-mode flag (the service, which still holds the result in
+        its cache).
+        """
         assert self._fh is not None, "open() the journal before recording"
         key = job.content_key()
         line = json.dumps(
@@ -245,7 +257,16 @@ class CampaignJournal:
             sort_keys=True,
             separators=(",", ":"),
         )
-        self._fh.write((line + "\n").encode())
+        data = (line + "\n").encode()
+        rule = faults.fire("journal.write")
+        if rule is not None and rule.action == "torn":
+            self._fh.write(data[:max(1, len(data) // 2)])
+            self._fh.flush()
+            raise faults.io_error(rule, "journal.write")
+        self._fh.write(data)
+        if rule is not None and rule.action == "fsync":
+            self._fh.flush()
+            raise faults.io_error(rule, "journal.write")
         self._sync()
         self.entries[key] = result
 

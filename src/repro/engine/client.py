@@ -18,22 +18,106 @@ Two adapters make the service a drop-in **backend** for existing code:
 
 The client is deliberately synchronous (plain ``socket``): callers are
 CLI commands, tests and campaign loops, none of which run an event loop.
+
+Failure handling (the chaos suite's client half):
+
+* every socket read/write carries a **deadline** — the explicit
+  ``timeout`` argument, else ``$REPRO_CLIENT_TIMEOUT``, else
+  :data:`DEFAULT_TIMEOUT` — so a daemon that accepts the connection and
+  then dies (or stalls mid-response) costs a typed
+  :class:`ServiceTimeout`, never an indefinite hang;
+* failures are **typed**: :class:`ServiceUnavailable` (no daemon /
+  connection lost), :class:`ServiceTimeout` (deadline exceeded),
+  :class:`ServiceOverloaded` (explicit backpressure) — all under
+  :class:`ServiceError`, so existing ``except ServiceError`` callers
+  keep working;
+* :meth:`ServiceClient.run_jobs` retries those three transparently
+  under a :class:`RetryPolicy` (exponential backoff, deterministic
+  jitter).  Resubmission is **idempotent by construction**: jobs are
+  identified server-side by content key, so a batch resubmitted after a
+  lost response coalesces onto the in-flight work or hits the cache —
+  the simulation never runs twice.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import socket
 import time
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine.job import SimJob
 from repro.pipeline.result import SimResult
 
+#: Environment variable overriding the default client deadline (seconds).
+CLIENT_TIMEOUT_ENV = "REPRO_CLIENT_TIMEOUT"
+
+#: Default per-read socket deadline.  Generous — a ``wait=True`` submit
+#: legitimately blocks for the whole batch — but finite, so a dead
+#: daemon is a typed error instead of a forever-hang.
+DEFAULT_TIMEOUT = 300.0
+
 
 class ServiceError(RuntimeError):
     """The daemon rejected a request or the connection failed."""
+
+
+class ServiceUnavailable(ServiceError):
+    """No daemon is reachable (connect refused, or connection lost)."""
+
+
+class ServiceTimeout(ServiceError):
+    """The daemon did not answer within the client deadline."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The daemon's admission control rejected the batch (backpressure)."""
+
+
+def resolve_client_timeout(explicit: float | None = None) -> float | None:
+    """The client deadline: explicit, else env, else the default.
+
+    An explicit ``0`` (or a ``0`` in the env) disables the deadline
+    entirely — for debuggers and humans who really do want to wait.
+    """
+    if explicit is not None:
+        return explicit if explicit > 0 else None
+    raw = os.environ.get(CLIENT_TIMEOUT_ENV, "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            return DEFAULT_TIMEOUT
+        return value if value > 0 else None
+    return DEFAULT_TIMEOUT
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` grows ``base * 2**attempt`` up to ``cap``, plus a
+    jitter fraction derived by hashing ``(seed, attempt)`` — spreading
+    simultaneous retriers without wall-clock or global RNG, in keeping
+    with the fault plane's determinism rules.  ``attempts`` counts
+    *total* tries (1 = no retries).
+    """
+
+    attempts: int = 4
+    base: float = 0.05
+    cap: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep after failed try *attempt* (0-based)."""
+        raw = min(self.cap, self.base * (2 ** attempt))
+        digest = hashlib.sha256(f"{self.seed}:{attempt}".encode()).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2**64
+        return raw * (1.0 + self.jitter * frac)
 
 
 class ServiceClient:
@@ -44,13 +128,18 @@ class ServiceClient:
     """
 
     def __init__(self, socket_path: str | os.PathLike | None = None,
-                 timeout: float | None = None):
+                 timeout: float | None = None,
+                 retry: RetryPolicy | None = None):
         # Imported here, not at module top, to keep the client importable
         # without dragging in the asyncio server machinery's dependencies.
         from repro.engine.service import default_socket_path
 
         self.socket_path = default_socket_path(socket_path)
-        self.timeout = timeout
+        self.timeout = resolve_client_timeout(timeout)
+        #: Policy :meth:`run_jobs` retries transient failures under
+        #: (``None`` disables retries; requests themselves never retry —
+        #: only the idempotent batch call does).
+        self.retry = retry if retry is not None else RetryPolicy()
         self._sock: socket.socket | None = None
         self._file = None
 
@@ -65,7 +154,7 @@ class ServiceClient:
             sock.connect(str(self.socket_path))
         except OSError as exc:
             sock.close()
-            raise ServiceError(
+            raise ServiceUnavailable(
                 f"cannot reach the repro service at {self.socket_path} "
                 f"({exc}); is `repro serve` running?"
             ) from None
@@ -94,23 +183,50 @@ class ServiceClient:
         self.close()
 
     def request(self, payload: dict) -> dict:
-        """One protocol round; raises :class:`ServiceError` on failure."""
+        """One protocol round; raises a typed :class:`ServiceError` on
+        failure.
+
+        Distinguishes the three transient shapes :meth:`run_jobs`
+        retries: a deadline expiry is :class:`ServiceTimeout`, a dead or
+        severed connection is :class:`ServiceUnavailable` (this also
+        covers a response cut off mid-line — a partial line with no
+        newline terminator *is* a closed connection by the time
+        ``readline`` returns), and an ``overloaded`` response is
+        :class:`ServiceOverloaded`.  Anything else the daemon refuses
+        stays a plain :class:`ServiceError` (not retryable: resubmitting
+        a malformed request can never help).
+        """
         self.connect()
         try:
             self._file.write((json.dumps(payload) + "\n").encode())
             self._file.flush()
             line = self._file.readline()
+        except socket.timeout:
+            self.close()
+            raise ServiceTimeout(
+                f"no response from the repro service at {self.socket_path} "
+                f"within {self.timeout:g}s"
+            ) from None
         except OSError as exc:
             self.close()
-            raise ServiceError(f"service connection lost: {exc}") from None
-        if not line:
+            raise ServiceUnavailable(
+                f"service connection lost: {exc}") from None
+        if not line or not line.endswith(b"\n"):
+            # Empty read: daemon closed cleanly.  Unterminated line: the
+            # connection died mid-response (e.g. a torn write) — either
+            # way the response is unusable and the connection is dead.
             self.close()
-            raise ServiceError("service closed the connection")
+            raise ServiceUnavailable(
+                "service closed the connection"
+                + (" mid-response" if line else ""))
         try:
             response = json.loads(line)
         except ValueError as exc:
             raise ServiceError(f"bad response from service: {exc}") from None
         if not response.get("ok"):
+            if response.get("overloaded"):
+                raise ServiceOverloaded(
+                    response.get("error", "service overloaded"))
             raise ServiceError(response.get("error", "unknown service error"))
         return response
 
@@ -154,10 +270,40 @@ class ServiceClient:
         """Ask the daemon to exit (acknowledged before it stops)."""
         self.request({"op": "shutdown"})
 
+    def health(self) -> dict:
+        """The daemon's liveness/degradation snapshot (``health`` op)."""
+        return self.request({"op": "health"})["health"]
+
+    def chaos(self) -> dict | None:
+        """The active fault plan of a ``--chaos`` daemon (``chaos`` op)."""
+        return self.request({"op": "chaos"})["plan"]
+
     def run_jobs(self, jobs: list[SimJob]) -> list[SimResult]:
-        """Submit, wait, and decode: the engine-shaped batch call."""
-        response = self.submit(jobs, wait=True)
-        return [SimResult.from_dict(raw) for raw in response["results"]]
+        """Submit, wait, and decode: the engine-shaped batch call.
+
+        Transient failures — the daemon unreachable, the response lost
+        or timed out, the queue shedding load — are retried under
+        :attr:`retry` with exponential backoff.  The resubmitted batch
+        is byte-identical, and the daemon identifies jobs by content
+        key, so a retry after a lost response attaches to the already
+        in-flight simulations (or their cached results) rather than
+        re-running anything: at-least-once delivery, exactly-once
+        execution.
+        """
+        policy = self.retry
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(attempts):
+            try:
+                response = self.submit(jobs, wait=True)
+                return [SimResult.from_dict(raw)
+                        for raw in response["results"]]
+            except (ServiceUnavailable, ServiceTimeout,
+                    ServiceOverloaded):
+                self.close()  # reconnect fresh on the next try
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(policy.delay(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 def service_running(socket_path: str | os.PathLike | None = None) -> bool:

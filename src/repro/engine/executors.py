@@ -17,6 +17,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 
+from repro.engine import faults
 from repro.engine.job import SimJob, execute_job
 from repro.engine.shm import SharedTraceRegistry, adopt_shared_trace, shm_enabled
 from repro.pipeline.result import SimResult
@@ -48,8 +49,19 @@ def _execute_shared_to_dict(item: tuple[SimJob, dict | None]) -> dict:
     When the parent shipped the job's trace over the shared-memory plane,
     adopt it into the local trace cache first so ``execute_job`` skips the
     generator; adoption failure just falls back to a local build.
+
+    Chaos: the ``worker.execute`` site fires here too, but with
+    ``allow_fatal=False`` — a ``multiprocessing.Pool`` cannot survive a
+    dead worker (``pool.map`` would raise for the whole batch), so
+    ``crash``/``hang`` directives degrade to a raised error.  The
+    persistent service pool (:mod:`repro.engine.queue`) is where fatal
+    worker faults are exercised for real.
     """
     job, trace_spec = item
+    rule = faults.fire("worker.execute")
+    if rule is not None:
+        faults.apply_worker_fault({"action": rule.action, "arg": rule.arg},
+                                  allow_fatal=False)
     if trace_spec is not None:
         adopt_shared_trace(trace_spec)
     return execute_job(job).to_dict()

@@ -30,11 +30,14 @@ from __future__ import annotations
 
 import asyncio
 import multiprocessing
+import os
 import queue as stdlib_queue
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.engine import faults
 from repro.engine.cache import ResultCache
 from repro.engine.checkpoint import CampaignJournal
 from repro.engine.job import SimJob, execute_job
@@ -52,6 +55,26 @@ WATCHDOG_INTERVAL = 0.1
 #: Seconds the drain thread blocks on the result queue per poll.
 DRAIN_POLL = 0.2
 
+#: Environment variable bounding the queue depth (admission control);
+#: unset/0 means unbounded.  A submit whose *new* jobs would push the
+#: outstanding depth past the bound is rejected whole with
+#: :class:`QueueOverloaded` (the protocol turns that into an
+#: ``overloaded`` response) instead of growing daemon memory without
+#: limit under a client stampede.
+QUEUE_BOUND_ENV = "REPRO_QUEUE_BOUND"
+
+#: Environment variable with the per-dispatch job timeout in seconds;
+#: unset/0 disables it.  A worker that holds one assignment longer than
+#: this is killed and replaced, and its job requeued — a wedged worker
+#: (or an injected hang) costs one timeout, not the daemon.
+JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+#: Most times one job is dispatched before the queue gives up on it and
+#: fails its future: survives transient worker deaths, converts a
+#: permanently hanging/crashing job into a typed error instead of an
+#: infinite kill-requeue loop.
+MAX_JOB_ATTEMPTS = 3
+
 
 class JobFailed(RuntimeError):
     """A worker reported an exception while executing a job."""
@@ -59,6 +82,46 @@ class JobFailed(RuntimeError):
 
 class QueueClosed(RuntimeError):
     """The queue was stopped while jobs were still outstanding."""
+
+
+class QueueOverloaded(RuntimeError):
+    """Admission control rejected a batch: the queue bound is reached.
+
+    The service maps this to an explicit ``overloaded`` protocol
+    response; well-behaved clients back off and retry.
+    """
+
+
+def _positive_env(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def resolve_queue_bound(explicit: int | None = None) -> int | None:
+    """The queue-depth bound: explicit value, else ``$REPRO_QUEUE_BOUND``.
+
+    ``None``/``0`` disables admission control (unbounded, the default).
+    """
+    if explicit is not None:
+        return int(explicit) if explicit > 0 else None
+    value = _positive_env(QUEUE_BOUND_ENV)
+    return int(value) if value else None
+
+
+def resolve_job_timeout(explicit: float | None = None) -> float | None:
+    """The per-dispatch timeout: explicit value, else ``$REPRO_JOB_TIMEOUT``.
+
+    ``None``/``0`` disables the watchdog timeout (the default).
+    """
+    if explicit is not None:
+        return float(explicit) if explicit > 0 else None
+    return _positive_env(JOB_TIMEOUT_ENV)
 
 
 def _mp_context():
@@ -83,13 +146,22 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
     before executing, falling back to a local build on any failure.  Job
     exceptions are reported as ``error`` messages instead of killing the
     worker — a malformed spec must not cost a pool slot.
+
+    Tasks may also carry a fault directive: the *parent* evaluates the
+    ``worker.execute`` chaos site at dispatch time (keeping the seeded
+    schedule in one process) and the worker merely acts it out — crash
+    (``os._exit``), hang, slow-down or a raised error.  The surrounding
+    requeue/timeout machinery is exercised exactly as a real failure
+    would.
     """
     while True:
         item = task_q.get()
         if item is None:
             return
-        task_id, job_dict, trace_spec = item
+        task_id, job_dict, trace_spec, fault = item
         try:
+            if fault is not None:
+                faults.apply_worker_fault(fault)
             if trace_spec is not None:
                 adopt_shared_trace(trace_spec)
             payload = execute_job(SimJob.from_dict(job_dict)).to_dict()
@@ -116,6 +188,9 @@ class _Worker:
         # shared-trace segment this assignment holds a reference on, so
         # whoever clears the assignment also releases the lease.
         self.current: tuple[int, dict, tuple | None] | None = None
+        #: Monotonic timestamp of the current assignment (job-timeout
+        #: enforcement); ``None`` while idle.
+        self.started: float | None = None
         self.process = ctx.Process(
             target=_worker_main,
             args=(worker_id, self.task_q, result_q),
@@ -132,10 +207,12 @@ class _Worker:
 
     def assign(self, task_id: int, job_dict: dict,
                trace_spec: dict | None = None,
-               lease_key: tuple | None = None) -> None:
+               lease_key: tuple | None = None,
+               fault: tuple | None = None) -> None:
         assert self.current is None, "worker already holds a task"
         self.current = (task_id, job_dict, lease_key)
-        self.task_q.put((task_id, job_dict, trace_spec))
+        self.started = time.monotonic()
+        self.task_q.put((task_id, job_dict, trace_spec, fault))
 
     def describe(self) -> dict:
         """Status row for the service ``status`` op."""
@@ -232,6 +309,10 @@ class QueueStats:
     executed: int = 0    # simulations actually run by the pool
     errors: int = 0      # jobs a worker reported an exception for
     requeued: int = 0    # jobs re-dispatched after their worker died
+    rejected: int = 0    # batches refused by admission control
+    timeouts: int = 0    # workers killed for exceeding the job timeout
+    exhausted: int = 0   # jobs failed after MAX_JOB_ATTEMPTS dispatches
+    journal_failures: int = 0  # journal appends that failed (degraded mode)
 
     def to_dict(self) -> dict:
         return {
@@ -241,6 +322,10 @@ class QueueStats:
             "executed": self.executed,
             "errors": self.errors,
             "requeued": self.requeued,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "exhausted": self.exhausted,
+            "journal_failures": self.journal_failures,
         }
 
 
@@ -251,6 +336,9 @@ class _Task:
     job: SimJob
     key: str
     future: asyncio.Future = field(repr=False)
+    #: Dispatches so far: bumped per assignment; at
+    #: :data:`MAX_JOB_ATTEMPTS` a requeue becomes a :class:`JobFailed`.
+    attempts: int = 0
 
 
 class JobQueue:
@@ -267,10 +355,16 @@ class JobQueue:
         pool: WorkerPool,
         cache: ResultCache | None = None,
         journal: CampaignJournal | None = None,
+        max_depth: int | None = None,
+        job_timeout: float | None = None,
     ):
         self.pool = pool
         self.cache = cache if cache is not None else ResultCache(None)
         self.journal = journal
+        #: Admission-control bound on outstanding depth (None = unbounded).
+        self.max_depth = resolve_queue_bound(max_depth)
+        #: Per-dispatch wall-clock budget (None = no timeout).
+        self.job_timeout = resolve_job_timeout(job_timeout)
         self.stats = QueueStats()
         # Shared-memory trace plane: the daemon materialises each unique
         # trace once and leases read-only segments to worker assignments
@@ -333,22 +427,54 @@ class JobQueue:
         (answered immediately), ``coalesced`` (attached to in-flight work,
         possibly another client's), ``enqueued`` (new simulations) — which
         is what the round-trip tests use to prove cross-client sharing.
+
+        Admission control: with :attr:`max_depth` set, a batch whose
+        genuinely *new* jobs (cache hits and coalesced jobs are free —
+        they add no work) would push the outstanding depth past the bound
+        raises :class:`QueueOverloaded` **before mutating any state**, so
+        a rejected batch leaves no half-enqueued residue and the client
+        can retry the whole thing after backing off.
         """
         assert self._loop is not None, "start() the queue before submitting"
+        # Phase 1: classify without mutating, so the batch can be rejected
+        # atomically.  Cache stats are counted here (the single cache.get
+        # per job); phase 2 reuses the classification.
+        plan: list[tuple[str, object]] = []
+        new_keys: set[str] = set()
+        for job in jobs:
+            cached = self.cache.get(job)
+            if cached is not None:
+                plan.append(("hit", cached))
+                continue
+            key = job.content_key()
+            if key in self._inflight or key in new_keys:
+                plan.append(("coalesce", key))
+            else:
+                new_keys.add(key)
+                plan.append(("new", key))
+        if self.max_depth is not None \
+                and self.depth + len(new_keys) > self.max_depth:
+            self.stats.rejected += 1
+            raise QueueOverloaded(
+                f"queue depth {self.depth} + {len(new_keys)} new jobs "
+                f"exceeds the bound of {self.max_depth}; retry after "
+                "backoff"
+            )
+        # Phase 2: commit.  Intra-batch duplicates coalesce onto the task
+        # their first occurrence created (phase 1 marked them "coalesce").
         futures: list[asyncio.Future] = []
         summary = {"jobs": len(jobs), "cache_hits": 0, "coalesced": 0,
                    "enqueued": 0}
-        for job in jobs:
+        for job, (kind, value) in zip(jobs, plan):
             self.stats.submitted += 1
-            cached = self.cache.get(job)
-            if cached is not None:
+            if kind == "hit":
                 future = self._loop.create_future()
-                future.set_result(cached)
+                future.set_result(value)
                 self.stats.cache_hits += 1
                 summary["cache_hits"] += 1
                 futures.append(future)
                 continue
-            key = job.content_key()
+            key = value
             task_id = self._inflight.get(key)
             if task_id is not None:
                 self.stats.coalesced += 1
@@ -381,9 +507,43 @@ class JobQueue:
             "workers": self.pool.describe(),
             "depth": self.depth,
             "pending": len(self._pending),
+            "max_depth": self.max_depth,
+            "job_timeout": self.job_timeout,
             "restarts": self.pool.restarts,
             "stats": self.stats.to_dict(),
             "traces": self.traces.stats(),
+        }
+
+    def health(self) -> dict:
+        """Liveness and degradation snapshot (the service ``health`` op).
+
+        ``degraded`` flags are lifetime counters of failures the daemon
+        absorbed instead of dying: journal appends that failed (results
+        still served from cache), cache persists that failed (results
+        still in memory), shared-memory materialisations that fell back
+        to local rebuilds.  ``degraded_mode`` is their disjunction — the
+        "keep serving, but look at me" signal for operators.
+        """
+        workers = self.pool.describe()
+        alive = sum(1 for w in workers if w["alive"])
+        busy = sum(1 for w in workers if w["task"] is not None)
+        degraded = {
+            "journal_failures": self.stats.journal_failures,
+            "cache_write_failures": self.cache.write_failures,
+            "shm_failures": self.traces.failures,
+        }
+        return {
+            "ok": alive > 0,
+            "workers": {"total": len(workers), "alive": alive, "busy": busy},
+            "depth": self.depth,
+            "pending": len(self._pending),
+            "max_depth": self.max_depth,
+            "job_timeout": self.job_timeout,
+            "restarts": self.pool.restarts,
+            "rejected": self.stats.rejected,
+            "timeouts": self.stats.timeouts,
+            "degraded": degraded,
+            "degraded_mode": any(v for v in degraded.values()),
         }
 
     # -- dispatch / completion ------------------------------------------
@@ -421,7 +581,14 @@ class JobQueue:
                     continue
                 leased = None  # preparation failed before: dispatch bare
             lease_key, spec = leased if leased is not None else (None, None)
-            idle.pop().assign(task_id, job.to_dict(), spec, lease_key)
+            task.attempts += 1
+            # Chaos: the parent evaluates the worker.execute site here so
+            # the seeded hit counter lives in exactly one process; the
+            # worker just acts the directive out (crash/hang/slow/error).
+            rule = faults.fire("worker.execute")
+            fault = None if rule is None else \
+                {"action": rule.action, "arg": rule.arg}
+            idle.pop().assign(task_id, job.to_dict(), spec, lease_key, fault)
         for task_id in reversed(deferred):
             self._pending.appendleft(task_id)
 
@@ -496,6 +663,7 @@ class JobQueue:
                 and worker.current[0] == task_id:
             lease_key = worker.current[2]
             worker.current = None
+            worker.started = None
             if lease_key is not None:
                 self.traces.release(lease_key)
         task = self._tasks.pop(task_id, None)
@@ -510,7 +678,24 @@ class JobQueue:
             result = SimResult.from_dict(payload)
             self.cache.put(task.job, result)
             if self.journal is not None:
-                self.journal.record(task.job, result)
+                # A failed append degrades instead of killing the daemon:
+                # the result is already in the cache layer and the future
+                # below must resolve either way (an exception here would
+                # orphan every waiter).  Journaling stops entirely after
+                # the first failure — the append may have left a torn
+                # half-record, and writing *after* it would fuse two
+                # records into one corrupt line; leaving the tear at EOF
+                # lets the next startup's loader truncate it cleanly.
+                # health() surfaces the count as a degraded-mode flag.
+                try:
+                    self.journal.record(task.job, result)
+                except OSError:
+                    self.stats.journal_failures += 1
+                    try:
+                        self.journal.close()
+                    except OSError:
+                        pass
+                    self.journal = None
             self.stats.executed += 1
             if not task.future.done():
                 task.future.set_result(result)
@@ -526,15 +711,49 @@ class JobQueue:
         A dead worker's shared-trace lease is released here — the segment
         usually stays resident (idle LRU) so the respawned assignment's
         re-lease is a pure reuse, not a rebuild.
+
+        With :attr:`job_timeout` set, a worker holding one assignment past
+        the budget is killed here (``SIGKILL``: a wedged worker won't run
+        a signal handler) and reaped as dead on the same sweep, so the
+        hang costs one timeout instead of wedging a pool slot forever.
+        Requeues are bounded: a job on its :data:`MAX_JOB_ATTEMPTS`-th
+        failed dispatch fails its future with :class:`JobFailed` instead
+        of being requeued, converting a deterministic crash/hang into a
+        typed error rather than an infinite kill-respawn loop.
         """
         while True:
             await asyncio.sleep(WATCHDOG_INTERVAL)
+            if self.job_timeout is not None:
+                now = time.monotonic()
+                for worker in list(self.pool._workers):
+                    if (
+                        worker.current is not None
+                        and worker.started is not None
+                        and now - worker.started > self.job_timeout
+                        and worker.alive()
+                    ):
+                        self.stats.timeouts += 1
+                        worker.process.kill()
+                        worker.process.join(timeout=1.0)
             orphaned = self.pool.reap_dead()
             for task_id, _job_dict, lease_key in orphaned:
                 if lease_key is not None:
                     self.traces.release(lease_key)
-                if task_id in self._tasks:
-                    self.stats.requeued += 1
-                    self._pending.appendleft(task_id)
+                task = self._tasks.get(task_id)
+                if task is None:
+                    continue
+                if task.attempts >= MAX_JOB_ATTEMPTS:
+                    self.stats.exhausted += 1
+                    self._tasks.pop(task_id, None)
+                    self._inflight.pop(task.key, None)
+                    if not task.future.done():
+                        task.future.set_exception(JobFailed(
+                            f"job {task.job.label()} lost its worker "
+                            f"{task.attempts} times (crash or timeout); "
+                            "giving up"
+                        ))
+                    continue
+                self.stats.requeued += 1
+                self._pending.appendleft(task_id)
             if orphaned:
                 self._feed()

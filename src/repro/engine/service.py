@@ -28,13 +28,31 @@ many requests.  Requests are ``{"op": <name>, ...}``; responses are
 ``status``
     Queue depth, per-worker state, lifetime counters, cache stats,
     journal location, open tickets.
+``health``
+    Cheap liveness/degradation snapshot: worker aliveness, queue depth
+    vs. bound, timeout/rejection counters and the degraded-mode flags
+    (journal, cache or shm failures the daemon absorbed).
+``chaos``
+    The active fault-injection plan (:mod:`repro.engine.faults`) — site
+    hit counts and fired rules.  Only served when the daemon was started
+    with chaos enabled (``repro serve --chaos``); refused otherwise.
 ``shutdown``
     Stop the daemon after acknowledging.
+
+Overload: with a queue bound configured (``--queue-bound`` /
+``$REPRO_QUEUE_BOUND``), a ``submit`` the queue cannot admit is answered
+``{"ok": false, "overloaded": true, ...}`` — an explicit backpressure
+signal the client turns into :class:`~repro.engine.client.ServiceOverloaded`
+and retries with backoff, instead of the daemon either growing without
+bound or silently hanging the caller.
 
 Crash safety is inherited from PR 3's journal machinery: every executed
 job is appended (``fsync`` per record) to the service journal, and a
 restarted daemon replays it into the cache, so completed work survives
 daemon restarts as well as worker deaths (the queue requeues those).
+Two daemons can never share a journal or a socket: the journal file is
+``flock``-ed by its writer, and the daemon holds a lockfile next to its
+socket, so the stale-socket cleanup path cannot race a live daemon.
 
 See docs/architecture.md for the full data-flow picture.
 """
@@ -48,11 +66,22 @@ import signal
 import sys
 from pathlib import Path
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.engine import faults
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.checkpoint import CampaignJournal, JournalHeader
 from repro.engine.executors import resolve_jobs
 from repro.engine.job import SimJob
-from repro.engine.queue import JobFailed, JobQueue, WorkerPool
+from repro.engine.queue import (
+    JobFailed,
+    JobQueue,
+    QueueOverloaded,
+    WorkerPool,
+)
 
 #: Environment variable naming the default service socket path.
 SOCKET_ENV = "REPRO_SERVICE_SOCKET"
@@ -97,6 +126,9 @@ class SimService:
         workers: int | None = None,
         cache: ResultCache | None = None,
         journal_path: str | os.PathLike | None = None,
+        max_depth: int | None = None,
+        job_timeout: float | None = None,
+        chaos: bool = False,
     ):
         self.socket_path = default_socket_path(socket_path)
         self.workers = resolve_jobs(workers)
@@ -104,50 +136,107 @@ class SimService:
         self.journal_path = Path(journal_path) if journal_path else None
         self.journal: CampaignJournal | None = None
         self.replayed = 0
+        self.max_depth = max_depth
+        self.job_timeout = job_timeout
+        #: Whether the ``chaos`` op is served (``repro serve --chaos``).
+        self.chaos = bool(chaos)
         self.queue: JobQueue | None = None
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._stop_event: asyncio.Event | None = None
         self._tickets: dict[int, dict] = {}
         self._next_ticket = 0
+        self._lock_fh = None
 
     # -- lifecycle -------------------------------------------------------
+
+    @property
+    def lock_path(self) -> Path:
+        """The daemon lockfile guarding this socket path."""
+        return self.socket_path.with_name(self.socket_path.name + ".lock")
+
+    def _acquire_lock(self) -> None:
+        """Take the per-socket daemon lock (advisory flock, non-blocking).
+
+        This is what makes the stale-socket cleanup below race-free: two
+        daemons starting simultaneously against one path both see a dead
+        socket, but only the lock holder may unlink and rebind.  The lock
+        lives next to the socket so it travels with a ``--socket``
+        override, and it is released (not leaked) by :meth:`stop` —
+        though even a ``SIGKILL``-ed daemon releases a flock with its fd.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        from repro.engine.client import ServiceError
+
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.lock_path, "a+")
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            fh.close()
+            raise ServiceError(
+                f"another repro service holds the lock for "
+                f"{self.socket_path} (lockfile {self.lock_path}); stop it "
+                "first or pick a different --socket"
+            ) from None
+        self._lock_fh = fh
+
+    def _release_lock(self) -> None:
+        if self._lock_fh is not None:
+            try:
+                self._lock_fh.close()
+            except OSError:
+                pass
+            self._lock_fh = None
+            try:
+                self.lock_path.unlink()
+            except OSError:
+                pass
 
     async def start(self) -> None:
         """Open the journal, start the queue, bind the socket."""
         self._stop_event = asyncio.Event()
-        if self.journal_path is not None:
-            self.journal = CampaignJournal(self.journal_path)
-            self.journal.open(JournalHeader(
-                campaign=SERVICE_JOURNAL_CAMPAIGN,
-                key=SERVICE_JOURNAL_KEY,
-                total=0,
-            ))
-            # Replay completed work into the cache: a restarted daemon
-            # answers everything it ever finished without re-simulating.
-            for key, result in self.journal.entries.items():
-                self.cache.seed(key, result)
-                self.replayed += 1
-        self.queue = JobQueue(WorkerPool(self.workers), cache=self.cache,
-                              journal=self.journal)
-        await self.queue.start()
-        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-        if self.socket_path.exists():
-            # Refuse to hijack a live daemon; only a *stale* socket (no
-            # listener answering ping) is cleaned up and bound over.
-            from repro.engine.client import ServiceError, service_running
+        self._acquire_lock()
+        try:
+            if self.journal_path is not None:
+                self.journal = CampaignJournal(self.journal_path)
+                self.journal.open(JournalHeader(
+                    campaign=SERVICE_JOURNAL_CAMPAIGN,
+                    key=SERVICE_JOURNAL_KEY,
+                    total=0,
+                ))
+                # Replay completed work into the cache: a restarted daemon
+                # answers everything it ever finished without re-simulating.
+                for key, result in self.journal.entries.items():
+                    self.cache.seed(key, result)
+                    self.replayed += 1
+            self.queue = JobQueue(WorkerPool(self.workers), cache=self.cache,
+                                  journal=self.journal,
+                                  max_depth=self.max_depth,
+                                  job_timeout=self.job_timeout)
+            await self.queue.start()
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            if self.socket_path.exists():
+                # Refuse to hijack a live daemon; only a *stale* socket (no
+                # listener answering ping) is cleaned up and bound over.
+                # The lockfile taken above makes this check race-free.
+                from repro.engine.client import ServiceError, service_running
 
-            if service_running(self.socket_path):
-                await self._teardown_queue_and_journal()
-                raise ServiceError(
-                    f"another repro service is already listening on "
-                    f"{self.socket_path}; stop it first or pick a "
-                    "different --socket"
-                )
-            self.socket_path.unlink()
-        self._server = await asyncio.start_unix_server(
-            self._handle, path=str(self.socket_path), limit=MAX_LINE,
-        )
+                if service_running(self.socket_path):
+                    raise ServiceError(
+                        f"another repro service is already listening on "
+                        f"{self.socket_path}; stop it first or pick a "
+                        "different --socket"
+                    )
+                self.socket_path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=str(self.socket_path), limit=MAX_LINE,
+            )
+        except BaseException:
+            await self._teardown_queue_and_journal()
+            self._release_lock()
+            raise
 
     async def stop(self) -> None:
         """Close the socket, stop the queue, close the journal."""
@@ -169,6 +258,7 @@ class SimService:
             self.socket_path.unlink()
         except OSError:
             pass
+        self._release_lock()
 
     async def _teardown_queue_and_journal(self) -> None:
         if self.queue is not None:
@@ -217,8 +307,22 @@ class SimService:
                     response = {"ok": False, "error": f"bad request: {exc}"}
                 else:
                     response = await self._dispatch(request)
-                writer.write((json.dumps(response, sort_keys=True)
-                              + "\n").encode())
+                data = (json.dumps(response, sort_keys=True) + "\n").encode()
+                # Chaos: the service.send site models every way a response
+                # can fail to arrive — dropped before any byte is written,
+                # cut after a partial write, or the connection severed —
+                # which is exactly what the client's timeout/retry path
+                # must survive (resubmission is idempotent by content key).
+                rule = faults.fire("service.send")
+                if rule is not None and rule.action == "stall":
+                    await asyncio.sleep(rule.arg if rule.arg else 30.0)
+                elif rule is not None:
+                    if rule.action == "partial" and len(data) > 1:
+                        writer.write(data[: len(data) // 2])
+                        await writer.drain()
+                    writer.transport.abort()
+                    break
+                writer.write(data)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.IncompleteReadError):
@@ -281,6 +385,21 @@ class SimService:
             "tickets": tickets,
         }
 
+    async def _op_health(self, request: dict) -> dict:
+        health = self.queue.health()
+        health["pid"] = os.getpid()
+        health["chaos"] = self.chaos and faults.active_plan() is not None
+        return {"ok": True, "health": health}
+
+    async def _op_chaos(self, request: dict) -> dict:
+        if not self.chaos:
+            return {"ok": False,
+                    "error": "chaos introspection is disabled; start the "
+                             "daemon with `repro serve --chaos`"}
+        plan = faults.active_plan()
+        return {"ok": True,
+                "plan": plan.describe() if plan is not None else None}
+
     async def _op_submit(self, request: dict) -> dict:
         raw_jobs = request.get("jobs")
         if not isinstance(raw_jobs, list) or not raw_jobs:
@@ -289,7 +408,16 @@ class SimService:
             jobs = [SimJob.from_dict(raw) for raw in raw_jobs]
         except (TypeError, ValueError) as exc:
             return {"ok": False, "error": f"bad job spec: {exc}"}
-        futures, summary = self.queue.submit(jobs)
+        try:
+            futures, summary = self.queue.submit(jobs)
+        except QueueOverloaded as exc:
+            # Explicit backpressure, distinguishable from a hard error:
+            # the client backs off and resubmits the identical batch
+            # (idempotent — content keys dedupe server-side).
+            return {"ok": False, "overloaded": True,
+                    "depth": self.queue.depth,
+                    "max_depth": self.queue.max_depth,
+                    "error": str(exc)}
         ticket_id = self._remember_ticket(futures)
         if not request.get("wait", True):
             return {"ok": True, "ticket": ticket_id, "summary": summary}
@@ -359,16 +487,29 @@ def run_service(
     workers: int | None = None,
     cache: ResultCache | None = None,
     journal_path: str | os.PathLike | None = None,
+    max_depth: int | None = None,
+    job_timeout: float | None = None,
+    chaos: bool = False,
     install_signal_handlers: bool = True,
     ready_message: bool = True,
 ) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Runs the daemon until ``SIGINT``/``SIGTERM`` or a client ``shutdown``
-    op.  Returns a process exit code.
+    op.  Returns a process exit code.  With *chaos*, any fault plan in
+    ``$REPRO_FAULTS`` is surfaced via the ``chaos`` op and exported to
+    spawned workers; unset plans still activate from the environment
+    either way (the chaos *flag* only gates introspection, not
+    injection — an un-flagged daemon under ``REPRO_FAULTS`` is exactly
+    the "operator forgot" scenario the suite tests).
     """
+    if chaos:
+        # Re-export whatever plan is active so spawn-start workers (which
+        # re-import everything) see the same spec and seed.
+        faults.install_plan(faults.active_plan(), export_env=True)
     service = SimService(socket_path, workers=workers, cache=cache,
-                         journal_path=journal_path)
+                         journal_path=journal_path, max_depth=max_depth,
+                         job_timeout=job_timeout, chaos=chaos)
 
     def _print_ready(svc: SimService) -> None:
         where = svc.cache.directory or "memory-only"

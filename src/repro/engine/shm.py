@@ -36,6 +36,8 @@ import os
 from collections import OrderedDict
 from multiprocessing import shared_memory
 
+from repro.engine import faults
+from repro.engine.faults import InjectedFault
 from repro.isa.trace import PackedColumns, Trace
 
 #: Environment variable gating the shared-memory plane (``0``/``off``
@@ -157,6 +159,9 @@ class SharedTraceRegistry:
 
         workload, total_uops, seed = key
         try:
+            rule = faults.fire("shm.materialize")
+            if rule is not None:
+                raise InjectedFault("injected shm materialisation failure")
             trace = build_trace(workload, total_uops, seed=seed)
             packed = trace.packed()
             layout, total_bytes = packed.buffer_layout()
@@ -262,6 +267,9 @@ def adopt_shared_trace(spec: dict) -> bool:
     try:
         from repro.workloads.catalog import cached_trace, seed_trace
 
+        rule = faults.fire("shm.attach")
+        if rule is not None:
+            raise InjectedFault("injected shm attach failure")
         workload = spec["workload"]
         total_uops = spec["total_uops"]
         seed = spec["seed"]

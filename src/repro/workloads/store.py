@@ -26,6 +26,14 @@ concurrent writers race benignly (first rename wins, the loser discards).
 dtype/length; any damage (truncated file, bad JSON, schema drift) makes
 it quarantine-delete the entry and return ``None``, and the caller
 regenerates — a broken store can cost time, never correctness.
+
+**Crash consistency & chaos.**  Every payload file (columns and
+``meta.json``) is fsynced before the directory rename commits the
+entry, so a crash mid-``put`` leaves only a ``*.tmp.*`` orphan, never a
+half-entry at a committed path.  Reads and writes pass the
+``store.read`` / ``store.write`` fault-injection sites
+(:mod:`repro.engine.faults`): injected truncation, garbage metadata and
+``ENOSPC`` exercise exactly the quarantine-and-regenerate path above.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from repro.isa.trace import (
     Trace,
 )
 from repro.util import profiling
+from repro.util.atomicio import atomic_write_text, fsync_file
 
 #: Environment variable selecting the persistent trace store directory.
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
@@ -122,15 +131,28 @@ class TraceStore:
             "columns": {col: str(packed.arrays[col].dtype)
                         for col, _ in COLUMN_SCHEMA},
         }
+        # Imported lazily: the fault plane lives on the engine layer, and
+        # workloads must stay importable without it.
+        from repro.engine import faults
+
         tmp = final.with_name(f"{final.name}.tmp.{os.getpid()}")
         try:
             with profiling.phase("trace-store-save"):
+                rule = faults.fire("store.write")
+                if rule is not None and rule.action == "enospc":
+                    raise faults.io_error(rule, "store.write")
                 tmp.mkdir(parents=True, exist_ok=True)
-                for col, _ in COLUMN_SCHEMA:
+                for i, (col, _) in enumerate(COLUMN_SCHEMA):
+                    if rule is not None and rule.action == "partial" and i:
+                        # Simulate a kill after the first column file: the
+                        # half-written set stays in the tmp dir and is
+                        # cleaned below — never renamed into place.
+                        raise faults.io_error(rule, "store.write")
                     np.save(tmp / f"{col}.npy", packed.arrays[col],
                             allow_pickle=False)
-                (tmp / _META_NAME).write_text(
-                    json.dumps(meta, sort_keys=True, indent=1))
+                    fsync_file(tmp / f"{col}.npy")
+                atomic_write_text(tmp / _META_NAME,
+                                  json.dumps(meta, sort_keys=True, indent=1))
                 try:
                     os.rename(tmp, final)
                 except OSError:
@@ -163,6 +185,14 @@ class TraceStore:
         if not entry.is_dir():
             self.misses += 1
             return None
+        from repro.engine import faults
+
+        rule = faults.fire("store.read")
+        if rule is not None:
+            # Damage the entry on disk, then read as normal: the ordinary
+            # validation below must catch it and quarantine the entry.
+            faults.damage_store_entry(
+                rule, entry, f"{COLUMN_SCHEMA[0][0]}.npy", _META_NAME)
         try:
             with profiling.phase("trace-store-load"):
                 meta = json.loads((entry / _META_NAME).read_text())

@@ -127,6 +127,97 @@ class TestCorruptionHealing:
         assert default_trace_store().stats()["entries"] == 1
 
 
+class TestFaultInjectedHealing:
+    """The same healing paths, driven through the chaos plane.
+
+    These use :mod:`repro.engine.faults` to damage entries *through the
+    production injection sites* — the read path quarantines real on-disk
+    corruption, the write path survives injected ``ENOSPC``/partial
+    writes — proving the seeded plans the chaos suite runs exercise the
+    identical code the hand-damage tests above pin.
+    """
+
+    @pytest.fixture(autouse=True)
+    def clean_plan(self):
+        from repro.engine import faults
+
+        faults.reset()
+        yield
+        faults.install_plan(None)
+        faults.reset()
+
+    def _stored(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = build_uncached()
+        entry = store.put(trace, "gzip", 2000, 164)
+        return store, trace, entry
+
+    def test_injected_truncation_quarantines_and_regenerates(self, tmp_path):
+        from repro.engine import faults
+
+        store, trace, entry = self._stored(tmp_path)
+        faults.install_plan("store.read:truncate@1")
+        assert store.get("gzip", 2000, 164) is None
+        assert store.corrupt == 1
+        assert not entry.exists()
+        # Regeneration heals: the next put/get round trip is clean and
+        # bit-identical to the original trace.
+        store.put(trace, "gzip", 2000, 164)
+        healed = store.get("gzip", 2000, 164)
+        assert healed is not None
+        assert healed.columns().values == trace.columns().values
+
+    def test_injected_garbage_meta_quarantines(self, tmp_path):
+        from repro.engine import faults
+
+        store, _trace, entry = self._stored(tmp_path)
+        faults.install_plan("store.read:garbage-meta@1")
+        assert store.get("gzip", 2000, 164) is None
+        assert not entry.exists()
+
+    def test_injected_enospc_during_put_leaves_no_entry(self, tmp_path):
+        from repro.engine import faults
+
+        store = TraceStore(tmp_path)
+        trace = build_uncached()
+        faults.install_plan("store.write:enospc@1")
+        store.put(trace, "gzip", 2000, 164)  # swallowed, never raises
+        assert store.get("gzip", 2000, 164) is None
+        faults.install_plan(None)
+        # The failed persist left nothing behind that blocks a retry.
+        store.put(trace, "gzip", 2000, 164)
+        assert store.get("gzip", 2000, 164) is not None
+
+    def test_injected_partial_write_never_renames_into_place(self, tmp_path):
+        from repro.engine import faults
+
+        store = TraceStore(tmp_path)
+        trace = build_uncached()
+        faults.install_plan("store.write:partial@1")
+        store.put(trace, "gzip", 2000, 164)
+        # The half-written column set stayed in (cleaned) tmp space: no
+        # committed entry, no tmp debris, and contains() agrees.
+        assert not store.contains("gzip", 2000, 164)
+        assert not list(tmp_path.glob("??/*.tmp.*"))
+
+    def test_fault_free_plan_run_is_bit_identical(self, tmp_path):
+        """A survivable-fault run heals back to the fault-free answer."""
+        from repro.engine import faults
+
+        store, trace, _entry = self._stored(tmp_path)
+        # Copy the clean answer out *before* injecting damage: an
+        # mmap-backed view would SIGBUS once the file under it shrinks.
+        clean = store.get("gzip", 2000, 164, mmap=False)
+        clean_pkeys = clean.columns().pkeys
+        clean_values = clean.columns().values
+        faults.install_plan("store.read:truncate@1")
+        assert store.get("gzip", 2000, 164) is None  # quarantined
+        store.put(trace, "gzip", 2000, 164)          # healed
+        healed = store.get("gzip", 2000, 164)
+        assert healed.columns().pkeys == clean_pkeys
+        assert healed.columns().values == clean_values
+
+
 class TestCatalogIntegration:
     def test_warm_store_skips_generation(self, tmp_path, monkeypatch):
         monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
