@@ -65,7 +65,7 @@ from repro.engine.faults import FAULTS_ENV, FaultPlan, FaultSpecError
 from repro.engine.job import SimJob
 from repro.engine.queue import JOB_TIMEOUT_ENV, QUEUE_BOUND_ENV
 from repro.engine.service import SOCKET_ENV, run_service
-from repro.pipeline.fastsim import kernel_mode
+from repro.pipeline.fastsim import fallback_stats, kernel_mode
 from repro.pipeline.result import SimResult
 from repro.experiments import figures, tables
 from repro.experiments.campaigns import CAMPAIGNS
@@ -121,6 +121,21 @@ def _parse_workloads(raw: str | None) -> tuple[str, ...] | None:
     return names
 
 
+def _fallback_note() -> str:
+    """The fast-path fallback counters, formatted for --profile output.
+
+    ``none`` means every simulation in this process took the fast path;
+    anything else names the structured reasons (and counts) runs silently
+    degraded to the sequential model.  Pool-backend workers keep their own
+    counters, so under ``-j N`` this reports the parent process only.
+    """
+    stats = fallback_stats()
+    if not stats:
+        return "none"
+    return ",".join(f"{reason}={count}"
+                    for reason, count in sorted(stats.items()))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.profile:
         profiling.enable()
@@ -135,7 +150,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.profile:
         profiling.disable()
         print(profiling.format_report(), file=sys.stderr)
-        print(f"profile: kernel={kernel_mode()}", file=sys.stderr)
+        print(f"profile: kernel={kernel_mode()} "
+              f"fastsim-fallbacks={_fallback_note()}", file=sys.stderr)
     return 0
 
 
@@ -272,7 +288,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.profile:
         profiling.disable()
         print(profiling.format_report(), file=sys.stderr)
-        print(f"profile: kernel={kernel_mode()}", file=sys.stderr)
+        print(f"profile: kernel={kernel_mode()} "
+              f"fastsim-fallbacks={_fallback_note()}", file=sys.stderr)
     return 0
 
 
@@ -306,6 +323,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 0
     if args.action == "ls":
         rows = store.entries()
+        if args.provenance:
+            rows = [r for r in rows if r["provenance"] == args.provenance]
         if not rows:
             print(f"no stored traces under {store.directory}")
             return 0
@@ -314,17 +333,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print(f"{row.get('name', '?'):<24} {row.get('n_uops', 0):>8} µops"
                   f"  seed {row.get('seed', '?'):<6}"
                   f" {int(row.get('nbytes', 0)) / 1024:>9.0f} KB"
+                  f"  {row['provenance']:<9}"
                   f"  {row['key'][:12]}…")
         if args.stats:
             stats = store.stats()
             print(f"total: {stats['entries']} trace(s), "
                   f"{stats['bytes'] / (1024 * 1024):.1f} MB under "
                   f"{stats['directory']}")
+            print(f"  generated: {stats['generated_entries']} "
+                  f"({stats['generated_bytes'] / (1024 * 1024):.1f} MB)  "
+                  f"ingested: {stats['ingested_entries']} "
+                  f"({stats['ingested_bytes'] / (1024 * 1024):.1f} MB)")
         return 0
     # clear
     disk = store.stats() if args.stats else None
-    removed = store.clear()
-    print(f"removed {removed} stored trace(s) from {store.directory}")
+    removed = store.clear(provenance=args.provenance)
+    what = f"{args.provenance} " if args.provenance else ""
+    print(f"removed {removed} stored {what}trace(s) from {store.directory}")
     if args.stats:
         cache = trace_cache_stats()
         clear_trace_cache()
@@ -335,6 +360,59 @@ def cmd_trace(args: argparse.Namespace) -> int:
               f"({cache['precompute_bytes'] / (1024 * 1024):.1f} MB "
               "precompute planes)")
     return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.workloads import ingest
+
+    store = _trace_store(args)
+    failures = 0
+    for path in args.files:
+        try:
+            trace, report = ingest.ingest_file(path, store, seed=args.seed)
+        except (OSError, ingest.IngestError) as exc:
+            print(f"{path}: FAILED — {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"{report.name}: {report.n_uops} µops from {path} "
+              f"(seed {report.seed}, {trace.nbytes / 1024:.0f} KB packed, "
+              f"{'stored' if report.stored else 'NOT stored'})")
+        if report.skipped:
+            print(f"  skipped {report.skipped} non-instruction line(s)")
+        if report.quarantined:
+            shown = report.quarantined[:args.show_quarantined]
+            print(f"  quarantined {len(report.quarantined)} line(s):")
+            for line_no, reason, text in shown:
+                print(f"    line {line_no}: {reason}  [{text}]")
+            if len(report.quarantined) > len(shown):
+                print(f"    … and {len(report.quarantined) - len(shown)} more")
+    return 1 if failures else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.workloads import fuzzer
+
+    registry = (fuzzer.CornerRegistry(args.corners) if args.corners
+                else fuzzer.CornerRegistry.default())
+    if args.list_corners:
+        corners = registry.load()["corners"]
+        if not corners:
+            print(f"no registered corners under {registry.path}")
+            return 0
+        for name, entry in sorted(corners.items()):
+            print(f"{name:<44} {entry['kind']:<18} {entry['workload']}")
+            print(f"    {entry['detail']}")
+            print(f"    replay: repro fuzz --replay \"{entry['spec']}\"")
+        return 0
+    if args.replay:
+        outcome = fuzzer.replay(args.replay)
+        return 1 if outcome.divergent else 0
+    workloads = _parse_workloads(args.workloads)
+    predictors = _parse_predictors(args.predictors) if args.predictors else None
+    summary = fuzzer.run_fuzz(
+        args.budget, args.seed, workloads=workloads, predictors=predictors,
+        max_uops=args.max_uops, registry=registry)
+    return 1 if summary["divergences"] else 0
 
 
 def _parse_predictors(raw: str | None) -> tuple[str, ...]:
@@ -846,19 +924,87 @@ def build_parser() -> argparse.ArgumentParser:
     trace_ls_p = trace_sub.add_parser(
         "ls", help="list stored traces")
     trace_ls_p.add_argument("--stats", action="store_true",
-                            help="append entry-count and byte totals")
+                            help="append entry-count and byte totals, "
+                                 "broken out by provenance")
+    trace_ls_p.add_argument("--provenance", default=None,
+                            choices=("generated", "ingested"),
+                            help="list only this class of entries")
     _trace_dir_arg(trace_ls_p)
     trace_ls_p.set_defaults(fn=cmd_trace)
 
     trace_clear_p = trace_sub.add_parser(
-        "clear", help="delete every stored trace")
+        "clear", help="delete stored traces")
     trace_clear_p.add_argument(
         "--stats", action="store_true",
         help="report reclaimed on-disk bytes and the in-process trace "
              "LRU occupancy (packed columns + attached precompute "
              "planes) dropped alongside")
+    trace_clear_p.add_argument(
+        "--provenance", default=None, choices=("generated", "ingested"),
+        help="clear only this class: 'generated' entries rebuild on "
+             "demand, 'ingested' ones need their source log re-ingested "
+             "(their registry names stop resolving)")
     _trace_dir_arg(trace_clear_p)
     trace_clear_p.set_defaults(fn=cmd_trace)
+
+    ingest_p = sub.add_parser(
+        "ingest",
+        help="ingest real execution logs into the trace store",
+        description="Parse execution logs ('address hex mnemonic' "
+                    "commit-log lines, or the objdump-style variant), "
+                    "classify each instruction into the µop vocabulary, "
+                    "synthesise seeded value streams and store the packed "
+                    "columns under an ingest-<slug>-<digest> workload "
+                    "name.  The name is then accepted anywhere a workload "
+                    "name is (repro run / submit / fuzz / campaigns) on "
+                    "any process pointed at the same trace store.",
+    )
+    ingest_p.add_argument("files", nargs="+", metavar="LOG",
+                          help="execution log file(s) to ingest")
+    ingest_p.add_argument("--seed", type=int, default=None,
+                          help="value-synthesis seed (part of the trace "
+                               "identity; default: a fixed constant)")
+    ingest_p.add_argument("--show-quarantined", type=int, default=5,
+                          metavar="N",
+                          help="print at most N quarantined lines per file")
+    ingest_p.add_argument("--trace-dir", default=None, metavar="DIR",
+                          help="trace store directory "
+                               f"(default: ${TRACE_DIR_ENV})")
+    ingest_p.set_defaults(fn=cmd_ingest)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the three cycle-loop implementations",
+        description="Sample (workload × predictor × recovery × knob) "
+                    "configurations from a seed and run each through the "
+                    "legacy sequential model, the vectorized Python fast "
+                    "loop and the compiled kernel (REPRO_FAST_SIM / "
+                    "REPRO_FAST_KERNEL forced per leg), requiring "
+                    "dataclass-equal results.  Interesting corners are "
+                    "registered in a JSON registry with a replayable "
+                    "one-line spec; exit status 1 on any divergence.",
+    )
+    fuzz_p.add_argument("--budget", type=int, default=25, metavar="N",
+                        help="number of sampled configurations")
+    fuzz_p.add_argument("--seed", type=int, default=1, metavar="S",
+                        help="sampling seed (same seed, same specs)")
+    fuzz_p.add_argument("--max-uops", type=int, default=3000,
+                        help="upper bound on sampled trace lengths")
+    fuzz_p.add_argument("--workloads", default=None,
+                        help="comma-separated workload pool (default: "
+                             "catalog + random scenarios + ingested traces)")
+    fuzz_p.add_argument("--predictors", default=None,
+                        help="comma-separated predictor pool "
+                             "(default: the full registry)")
+    fuzz_p.add_argument("--corners", default=None, metavar="PATH",
+                        help="corner registry JSON (default: "
+                             "fuzz-corners.json next to the trace store)")
+    fuzz_p.add_argument("--replay", default=None, metavar="SPEC",
+                        help="re-run one emitted spec line instead of "
+                             "sweeping")
+    fuzz_p.add_argument("--list-corners", action="store_true",
+                        help="print the registered corners and exit")
+    fuzz_p.set_defaults(fn=cmd_fuzz)
 
     cache_p = sub.add_parser(
         "cache",

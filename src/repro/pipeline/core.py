@@ -127,13 +127,23 @@ class CoreModel:
             gc.disable()
         try:
             with profiling.phase("simulate"):
-                if stage_trace is None:
-                    from repro.pipeline import fastsim
+                from repro.pipeline import fastsim
 
-                    if fastsim.fast_sim_enabled():
-                        result = fastsim.try_run(self, trace, warmup, workload)
-                        if result is not None:
-                            return result
+                mode = fastsim.fast_sim_mode()
+                if stage_trace is not None:
+                    if mode != "off":
+                        fastsim.record_fallback("stage-trace-hook")
+                        if mode == "require":
+                            raise fastsim.FastPathRequired("stage-trace-hook")
+                elif mode != "off":
+                    result = fastsim.try_run(self, trace, warmup, workload)
+                    if result is not None:
+                        return result
+                    if mode == "require":
+                        raise fastsim.FastPathRequired(
+                            fastsim.last_fallback() or "unknown")
+                else:
+                    fastsim.record_fallback("disabled-by-env")
                 return self._run(trace, warmup, workload, stage_trace)
         finally:
             if gc_was_enabled:

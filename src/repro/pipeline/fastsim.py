@@ -29,6 +29,8 @@ both modes and the randomized equivalence tests).
 Environment knobs:
 
 * ``REPRO_FAST_SIM=0`` — disable this path entirely (sequential loop).
+* ``REPRO_FAST_SIM=require`` — raise :class:`FastPathRequired` instead of
+  silently falling back (perf runs that must not quietly degrade).
 * ``REPRO_FAST_KERNEL`` — ``0`` forces the pure-Python fast loop; unset /
   ``1`` / ``auto`` additionally tries the compiled kernel for supported
   configurations.
@@ -79,8 +81,77 @@ _P_STRIDE = 3
 _P_VTAGE = 4
 
 
+def fast_sim_mode() -> str:
+    """The requested fast-path policy: ``"off"`` (``REPRO_FAST_SIM=0``),
+    ``"require"`` (fall-backs raise :class:`FastPathRequired` instead of
+    silently degrading) or ``"on"`` (fall back quietly, the default)."""
+    raw = os.environ.get(FAST_SIM_ENV, "").strip().lower()
+    if raw == "0":
+        return "off"
+    if raw == "require":
+        return "require"
+    return "on"
+
+
 def fast_sim_enabled() -> bool:
-    return os.environ.get(FAST_SIM_ENV, "").strip() != "0"
+    return fast_sim_mode() != "off"
+
+
+class FastPathRequired(RuntimeError):
+    """Raised under ``REPRO_FAST_SIM=require`` when a run would silently
+    fall back to the sequential model.  The message carries the structured
+    fallback reason (the same string :func:`fallback_stats` counts)."""
+
+    def __init__(self, reason: str):
+        super().__init__(
+            f"REPRO_FAST_SIM=require but the fast path fell back: {reason}")
+        self.reason = reason
+
+
+# Per-process structured fallback counters: reason -> count.  Every run
+# that bypasses the fast loop records exactly one reason here; the CLI's
+# ``--profile`` output surfaces them so a silently-degraded run is visible
+# in the same place its timing is.  Pool-backend workers keep their own
+# counters (same per-process scope as the profiling registry).
+_FALLBACKS: dict[str, int] = {}
+_LAST_FALLBACK: str | None = None
+
+
+def record_fallback(reason: str) -> None:
+    """Count one sequential-model fallback under a structured *reason*."""
+    global _LAST_FALLBACK
+    _FALLBACKS[reason] = _FALLBACKS.get(reason, 0) + 1
+    _LAST_FALLBACK = reason
+
+
+def fallback_stats() -> dict[str, int]:
+    """Reason -> count of fast-path fallbacks in this process."""
+    return dict(_FALLBACKS)
+
+
+def last_fallback() -> str | None:
+    """The most recent fallback reason, or ``None``."""
+    return _LAST_FALLBACK
+
+
+def reset_fallback_stats() -> None:
+    global _LAST_FALLBACK
+    _FALLBACKS.clear()
+    _LAST_FALLBACK = None
+
+
+def fallback_reason(model) -> str | None:
+    """Why *model* would bypass the fast loop, or ``None`` when eligible.
+
+    This is the static half of the dispatch decision (predictor family,
+    branch-unit state); the dynamic half (``REPRO_FAST_SIM=0``, a
+    stage-trace hook) is reported by ``CoreModel.run`` itself.
+    """
+    if _classify(model.predictor) is None:
+        return f"unsupported-predictor:{type(model.predictor).__name__}"
+    if not default_branch_state(model):
+        return "non-default-branch-state"
+    return None
 
 
 def fast_kernel_enabled() -> bool:
@@ -131,11 +202,11 @@ def try_run(model, trace, warmup: int, workload: str | None) -> SimResult | None
 
     The caller (``CoreModel.run``) owns the gc pause and profiling phase.
     """
+    reason = fallback_reason(model)
+    if reason is not None:
+        record_fallback(reason)
+        return None
     ptype = _classify(model.predictor)
-    if ptype is None:
-        return None
-    if not default_branch_state(model):
-        return None
     plane = trace_plane(trace)
     vplane = (
         vtage_plane(trace, model.predictor) if ptype == _P_VTAGE else None

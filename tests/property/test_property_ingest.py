@@ -1,0 +1,116 @@
+"""Property tests: ingestion is total, deterministic and store-exact.
+
+Hypothesis drives two invariants the example-based tests cannot pin:
+
+* **Totality** — ``parse_log`` never raises, whatever bytes a log file
+  contains; every line is accounted for as parsed, skipped or
+  quarantined.
+* **Round-trip** — any syntactically valid instruction stream lowers to
+  packed columns that survive the trace store bit-identically, and
+  re-lowering the same text with the same seed reproduces the same
+  arrays (the invariant that makes the digest-bearing name a sound
+  cache key).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import ingest
+from repro.workloads.store import TraceStore
+
+_INT_REGS = ("zero", "ra", "sp", "a0", "a1", "a5", "s0", "s11", "t6",
+             "x7", "x31")
+_FP_REGS = ("fa0", "ft3", "fs11", "f12")
+
+_ALU = st.sampled_from(("add", "addi", "sub", "xor", "andi", "slli", "auipc",
+                        "lui", "mul", "div", "fadd.d", "fmul.s", "fdiv.d"))
+_MEM = st.sampled_from(("lw", "ld", "lbu", "sw", "sd", "fld", "fsd"))
+_CTRL = st.sampled_from(("beq", "bne", "bltu", "jal", "j", "ret"))
+_NOISE = st.sampled_from(("nop", "fence", "ecall", "csrr"))
+
+
+@st.composite
+def _instruction(draw):
+    """One syntactically valid log instruction (mnemonic + operands)."""
+    kind = draw(st.integers(min_value=0, max_value=3))
+    r = lambda: draw(st.sampled_from(_INT_REGS))
+    if kind == 0:
+        mnemonic = draw(_ALU)
+        if mnemonic.startswith("f"):
+            regs = [draw(st.sampled_from(_FP_REGS)) for _ in range(3)]
+        else:
+            regs = [r(), r(), r()]
+        return f"{mnemonic} {','.join(regs)}"
+    if kind == 1:
+        mnemonic = draw(_MEM)
+        data = (draw(st.sampled_from(_FP_REGS))
+                if mnemonic.startswith("f") else r())
+        offset = draw(st.integers(min_value=-64, max_value=64))
+        return f"{mnemonic} {data},{offset}({r()})"
+    if kind == 2:
+        mnemonic = draw(_CTRL)
+        if mnemonic in ("j", "jal"):
+            return f"{mnemonic} 80000010"
+        if mnemonic == "ret":
+            return "ret"
+        return f"{mnemonic} {r()},{r()},80000010"
+    return draw(_NOISE)
+
+
+@st.composite
+def _log_text(draw):
+    """A whole log: coherent addresses, random instruction mix."""
+    body = draw(st.lists(_instruction(), min_size=1, max_size=40))
+    addr = 0x80000000
+    lines = []
+    for i, insn in enumerate(body):
+        lines.append(f"{addr:08x} {0x113 + 4 * i:08x} {insn}")
+        # Branches sometimes "jump": perturb the next address.
+        if insn.split()[0] in ("beq", "bne", "bltu", "j", "jal", "ret") \
+                and draw(st.booleans()):
+            addr = 0x80000000 + draw(st.integers(0, 255)) * 4
+        else:
+            addr += 4
+    return "\n".join(lines) + "\n"
+
+
+@given(text=st.text(max_size=400))
+@settings(max_examples=60, deadline=None)
+def test_parse_log_is_total(text):
+    """Arbitrary text never crashes; every line is accounted for."""
+    insns, skipped, quarantined = ingest.parse_log(text)
+    non_blank = sum(1 for line in text.split("\n") if line.strip())
+    assert len(insns) + skipped + len(quarantined) == non_blank
+
+
+@given(text=_log_text(), seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=30, deadline=None)
+def test_lowering_deterministic(text, seed):
+    insns, _, quarantined = ingest.parse_log(text)
+    assert quarantined == []          # the generator emits only valid lines
+    a = ingest.lower(insns, seed, "t").packed()
+    b = ingest.lower(insns, seed, "t").packed()
+    a.validate()
+    for col, arr in a.arrays.items():
+        assert np.array_equal(arr, b.arrays[col]), col
+
+
+@given(text=_log_text(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_ingest_store_round_trip(text, seed, tmp_path_factory):
+    """parse → lower → store → load is bit-identical, name is stable."""
+    root = tmp_path_factory.mktemp("ingest-prop")
+    store = TraceStore(root / "store")
+    trace, report = ingest.ingest_text(text, "prop.log", store, seed=seed)
+    assert report.stored
+    assert ingest.is_ingest_name(report.name)
+    loaded = store.get(report.name, report.n_uops, seed)
+    assert loaded is not None
+    for col, arr in trace.packed().arrays.items():
+        assert np.array_equal(arr, loaded.packed().arrays[col]), col
+    again, report_again = ingest.ingest_text(text, "prop.log", store,
+                                             seed=seed)
+    assert report_again.name == report.name
+    for col, arr in trace.packed().arrays.items():
+        assert np.array_equal(arr, again.packed().arrays[col]), col

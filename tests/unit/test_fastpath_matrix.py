@@ -1,0 +1,151 @@
+"""The fast-path dispatch matrix, pinned exhaustively.
+
+``CoreModel.run`` picks between three loop implementations at call time;
+which configurations are eligible is a contract the fuzzer and the CLI
+``--profile`` output both rely on.  These tests enumerate every
+experiment predictor × recovery × fpc combination and assert the static
+dispatch decision (:func:`fastsim.fallback_reason`), then exercise the
+dynamic half: structured fallback counters, ``REPRO_FAST_SIM=require``
+escalation, the stage-trace hook and the disabled-by-env path.
+"""
+
+import pytest
+
+from repro.experiments.runner import PREDICTOR_NAMES, make_predictor
+from repro.pipeline import fastsim
+from repro.pipeline.config import CoreConfig, RecoveryMode
+from repro.pipeline.core import CoreModel, simulate
+from repro.workloads.catalog import build_trace
+
+#: Families the vectorised loops inline (exact type checks in
+#: ``fastsim._classify``) — everything else must fall back, silently by
+#: default, loudly under ``REPRO_FAST_SIM=require``.
+FAST = frozenset({"none", "oracle", "lvp", "stride", "2dstride", "vtage"})
+FALLBACK = frozenset(PREDICTOR_NAMES) - FAST
+
+_N = 600
+_WARMUP = 100
+
+
+def _model(name: str, recovery: str = "squash", fpc: bool = True) -> CoreModel:
+    predictor = make_predictor(name, fpc=fpc, recovery=recovery)
+    return CoreModel(config=CoreConfig(recovery=RecoveryMode(recovery)),
+                     predictor=predictor)
+
+
+@pytest.fixture(autouse=True)
+def _clean_counters():
+    fastsim.reset_fallback_stats()
+    yield
+    fastsim.reset_fallback_stats()
+
+
+# -- static half: predictor family × recovery × fpc -------------------------
+
+
+@pytest.mark.parametrize("fpc", (True, False), ids=("fpc", "3bit"))
+@pytest.mark.parametrize("recovery", ("squash", "reissue"))
+@pytest.mark.parametrize("name", PREDICTOR_NAMES)
+def test_dispatch_matrix(name, recovery, fpc):
+    """Eligibility depends only on the predictor family — never on the
+    recovery mechanism or the confidence policy."""
+    model = _model(name, recovery=recovery, fpc=fpc)
+    reason = fastsim.fallback_reason(model)
+    if name in FAST:
+        assert reason is None
+    else:
+        expected = f"unsupported-predictor:{type(model.predictor).__name__}"
+        assert reason == expected
+
+
+@pytest.mark.parametrize("name", sorted(FAST))
+def test_fast_family_rejects_prewarmed_branch_unit(name):
+    model = _model(name)
+    model.branch_unit.cond_branches = 7
+    assert fastsim.fallback_reason(model) == "non-default-branch-state"
+
+
+# -- dynamic half: counters and require-mode escalation ---------------------
+
+
+def test_fallback_counter_records_unsupported(monkeypatch):
+    monkeypatch.delenv(fastsim.FAST_SIM_ENV, raising=False)
+    trace = build_trace("gcc", _N)
+    result = simulate(trace, make_predictor("fcm"), warmup=_WARMUP,
+                      workload="gcc")
+    assert result.cycles > 0
+    stats = fastsim.fallback_stats()
+    assert stats.get("unsupported-predictor:FCMPredictor") == 1
+    assert fastsim.last_fallback() == "unsupported-predictor:FCMPredictor"
+
+
+def test_fast_run_records_no_fallback(monkeypatch):
+    monkeypatch.delenv(fastsim.FAST_SIM_ENV, raising=False)
+    trace = build_trace("gcc", _N)
+    simulate(trace, make_predictor("vtage"), warmup=_WARMUP, workload="gcc")
+    assert fastsim.fallback_stats() == {}
+
+
+def test_disabled_by_env_is_counted(monkeypatch):
+    monkeypatch.setenv(fastsim.FAST_SIM_ENV, "0")
+    trace = build_trace("gcc", _N)
+    simulate(trace, make_predictor("vtage"), warmup=_WARMUP, workload="gcc")
+    assert fastsim.fallback_stats().get("disabled-by-env") == 1
+
+
+def test_stage_trace_hook_is_counted(monkeypatch):
+    monkeypatch.delenv(fastsim.FAST_SIM_ENV, raising=False)
+    trace = build_trace("gcc", _N)
+    hook: list = []
+    _model("vtage").run(trace, warmup=_WARMUP, workload="gcc",
+                        stage_trace=hook)
+    assert len(hook) > 0
+    assert fastsim.fallback_stats().get("stage-trace-hook") == 1
+
+
+def test_require_mode_passes_supported(monkeypatch):
+    monkeypatch.setenv(fastsim.FAST_SIM_ENV, "require")
+    assert fastsim.fast_sim_mode() == "require"
+    trace = build_trace("gcc", _N)
+    result = simulate(trace, make_predictor("vtage"), warmup=_WARMUP,
+                      workload="gcc")
+    assert result.cycles > 0
+    assert fastsim.fallback_stats() == {}
+
+
+@pytest.mark.parametrize("name", sorted(FALLBACK))
+def test_require_mode_raises_unsupported(monkeypatch, name):
+    monkeypatch.setenv(fastsim.FAST_SIM_ENV, "require")
+    trace = build_trace("gcc", _N)
+    with pytest.raises(fastsim.FastPathRequired) as excinfo:
+        simulate(trace, make_predictor(name), warmup=_WARMUP, workload="gcc")
+    assert excinfo.value.reason.startswith("unsupported-predictor:")
+
+
+def test_require_mode_raises_on_stage_trace(monkeypatch):
+    monkeypatch.setenv(fastsim.FAST_SIM_ENV, "require")
+    trace = build_trace("gcc", _N)
+    with pytest.raises(fastsim.FastPathRequired) as excinfo:
+        _model("vtage").run(trace, warmup=_WARMUP, workload="gcc",
+                            stage_trace=[])
+    assert excinfo.value.reason == "stage-trace-hook"
+
+
+def test_require_mode_raises_on_prewarmed_branch_unit(monkeypatch):
+    monkeypatch.setenv(fastsim.FAST_SIM_ENV, "require")
+    trace = build_trace("gcc", _N)
+    model = _model("vtage")
+    model.branch_unit.cond_branches = 7
+    with pytest.raises(fastsim.FastPathRequired) as excinfo:
+        model.run(trace, warmup=_WARMUP, workload="gcc")
+    assert excinfo.value.reason == "non-default-branch-state"
+
+
+def test_reset_clears_counters(monkeypatch):
+    monkeypatch.setenv(fastsim.FAST_SIM_ENV, "0")
+    trace = build_trace("gcc", _N)
+    simulate(trace, None, warmup=_WARMUP, workload="gcc")
+    assert fastsim.fallback_stats()
+    fastsim.reset_fallback_stats()
+    assert fastsim.fallback_stats() == {}
+    assert fastsim.last_fallback() is None
