@@ -19,6 +19,14 @@ Usage examples::
     python -m repro.cli status --socket /tmp/repro.sock
     python -m repro.cli campaign run fig4 --backend service --socket /tmp/repro.sock
 
+    # The cluster: N TCP shards, jobs routed by consistent-hashed content key.
+    python -m repro.cli -j 2 cluster serve --listen 127.0.0.1:7101
+    python -m repro.cli -j 2 cluster serve --listen 127.0.0.1:7102 \
+        --peer 127.0.0.1:7101
+    python -m repro.cli cluster status --shards 127.0.0.1:7101,127.0.0.1:7102
+    python -m repro.cli campaign run fig4 --backend cluster \
+        --shards 127.0.0.1:7101,127.0.0.1:7102
+
 All simulations go through the experiment engine: ``--jobs/-j`` (or the
 ``REPRO_JOBS`` environment variable) selects how many worker processes run
 the job batches, and ``REPRO_CACHE_DIR`` (or ``--cache-dir``) enables the
@@ -60,11 +68,12 @@ from repro.engine.checkpoint import (
     default_checkpoint_dir,
 )
 from repro.engine.client import ServiceClient, ServiceError
+from repro.engine.cluster import SHARDS_ENV, ShardRouter
 from repro.engine.executors import JOBS_ENV
 from repro.engine.faults import FAULTS_ENV, FaultPlan, FaultSpecError
 from repro.engine.job import SimJob
 from repro.engine.queue import JOB_TIMEOUT_ENV, QUEUE_BOUND_ENV
-from repro.engine.service import SOCKET_ENV, run_service
+from repro.engine.service import SOCKET_ENV, TOKEN_ENV, run_service
 from repro.pipeline.fastsim import fallback_stats, kernel_mode
 from repro.pipeline.result import SimResult
 from repro.experiments import figures, tables
@@ -258,12 +267,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.profile:
         profiling.enable()
     try:
-        engine = engine_for_backend(args.backend, args.socket)
+        engine = engine_for_backend(args.backend, args.socket,
+                                    shards=_parse_shards(args.shards),
+                                    token=args.token)
         if args.backend != "local":
             if args.jobs is not None or args.cache_dir is not None:
-                print("note: --jobs/--cache-dir apply to the daemon, not "
-                      "this client; they are ignored with --backend "
-                      "service", file=sys.stderr)
+                print("note: --jobs/--cache-dir apply to the daemon(s), "
+                      "not this client; they are ignored with --backend "
+                      f"{args.backend}", file=sys.stderr)
             # --render replays through the default engine's cache; make
             # the service-backed engine that default so rendering never
             # re-simulates locally what the daemon already ran.
@@ -426,6 +437,14 @@ def _parse_predictors(raw: str | None) -> tuple[str, ...]:
         raise SystemExit(f"unknown predictors: {', '.join(unknown)} "
                          f"(pick from {', '.join(PREDICTOR_NAMES)})")
     return names
+
+
+def _parse_shards(raw: str | None) -> list[str] | None:
+    """Split a ``--shards`` value; ``None`` falls through to the env."""
+    if raw is None:
+        return None
+    pieces = [piece.strip() for piece in raw.split(",") if piece.strip()]
+    return pieces or None
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -609,6 +628,100 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    if args.action == "serve":
+        # A cluster shard is the ordinary daemon on a TCP transport; the
+        # shared flags (-j, --journal, --queue-bound, ...) mean the same.
+        return run_service(
+            None,
+            workers=args.jobs,
+            cache=default_engine().cache,
+            journal_path=args.journal,
+            max_depth=args.queue_bound,
+            job_timeout=args.job_timeout,
+            chaos=args.chaos,
+            listen=args.listen,
+            token=args.token,
+            peers=args.peer or [],
+        )
+    try:
+        router = ShardRouter(_parse_shards(args.shards), token=args.token)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.action == "status":
+        return _print_cluster_status(router.status())
+    # run: a predictors x workloads grid, routed across the shards
+    workloads = _parse_workloads(args.workloads)
+    if workloads is None:
+        raise SystemExit("cluster run needs --workloads")
+    predictors = _parse_predictors(args.predictors)
+    jobs = [
+        SimJob.make(workload, predictor, fpc=not args.no_fpc,
+                    recovery=args.recovery, n_uops=args.uops,
+                    warmup=args.warmup)
+        for predictor in predictors
+        for workload in workloads
+    ]
+    try:
+        results = router.run_jobs(jobs)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    for result in results:
+        print(result.summary_line())
+    stats = router.stats
+    note = (f"cluster: {stats['routed_jobs']} job(s) routed across "
+            f"{len(router.alive_shards())}/{len(router.ring.shards)} "
+            f"shard(s)")
+    if stats["failovers"]:
+        note += (f"; {stats['failovers']} shard(s) dropped, "
+                 f"{stats['rerouted_jobs']} job(s) re-routed")
+    print(note, file=sys.stderr)
+    return 0
+
+
+def _print_cluster_status(status: dict) -> int:
+    """Render :meth:`ShardRouter.status` (exit 1 if any shard is out)."""
+    ring = status["ring"]
+    print(f"cluster: {ring['alive']}/{ring['shards']} shard(s) alive "
+          f"({ring['replicas']} ring points per shard)")
+    impaired = False
+    for row in status["shards"]:
+        address = row["address"]
+        if row["down"]:
+            print(f"shard {address}: DOWN — {row.get('reason', 'marked down')}")
+            impaired = True
+            continue
+        if "metrics" not in row:
+            print(f"shard {address}: unreachable — "
+                  f"{row.get('unreachable', 'no metrics')}")
+            impaired = True
+            continue
+        metrics = row["metrics"]
+        shard, queue = metrics["shard"], metrics["queue"]
+        cache, peers = metrics["cache"], metrics["peers"]
+        print(f"shard {address}: pid {shard['pid']}, "
+              f"{shard['workers']} worker(s), up {shard['uptime_s']:.0f}s")
+        print(f"  queue: {queue['depth']} deep ({queue['pending']} pending, "
+              f"{queue['in_flight']} in flight), "
+              f"{queue['workers_alive']} worker(s) alive, "
+              f"{queue['restarts']} restart(s)")
+        print(f"  cache: {cache['hits']} hit(s) / {cache['misses']} miss(es), "
+              f"{cache['memory_entries']} in memory, "
+              f"{cache['disk_entries']} on disk")
+        print(f"  peers: {peers['configured']} configured — "
+              f"{peers['hits']} hit(s), {peers['misses']} miss(es), "
+              f"{peers['failures']} failure(s)")
+        if metrics["faults"]["active"]:
+            print(f"  faults: plan active, "
+                  f"{metrics['faults']['fired']} rule(s) fired")
+    router = status["router"]
+    print(f"router: {router['routed_jobs']} routed, "
+          f"{router['misrouted_jobs']} misrouted, "
+          f"{router['failovers']} failover(s), "
+          f"{router['rerouted_jobs']} re-routed")
+    return 1 if impaired else 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = default_engine().cache
     if args.action == "show":
@@ -715,12 +828,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the campaign's figure/table after the run")
         p.add_argument("--backend", default="local", choices=BACKENDS,
                        help="where job batches execute: in this process "
-                            "('local') or on a running `repro serve` "
-                            "daemon ('service')")
+                            "('local'), on a running `repro serve` "
+                            "daemon ('service'), or across `repro "
+                            "cluster serve` shards ('cluster')")
         p.add_argument("--socket", default=None, metavar="PATH",
                        help="service socket for --backend service "
                             f"(default: ${SOCKET_ENV} or "
                             "./repro-service.sock)")
+        p.add_argument("--shards", default=None, metavar="ADDR,ADDR",
+                       help="comma-separated shard addresses for "
+                            "--backend cluster "
+                            f"(default: ${SHARDS_ENV})")
+        p.add_argument("--token", default=None,
+                       help="shared-secret auth token for TCP daemons "
+                            f"(default: ${TOKEN_ENV})")
         p.add_argument("--profile", action="store_true",
                        help="print per-phase wall-clock timings (trace "
                             "build / columnize / precompute / simulate / "
@@ -793,6 +914,89 @@ def build_parser() -> argparse.ArgumentParser:
                               f"export the ${FAULTS_ENV} fault plan to "
                               "spawned workers (fault-matrix testing)")
     serve_p.set_defaults(fn=cmd_serve)
+
+    cluster_p = sub.add_parser(
+        "cluster",
+        help="serve, inspect or drive a sharded TCP cluster",
+        description="Scale the service across processes and machines: "
+                    "each `cluster serve` runs one ordinary daemon on a "
+                    "TCP port (a shard), and clients route every job to "
+                    "its shard by consistent-hashing the job's content "
+                    "key — so coalescing and cache sharing work "
+                    "cluster-wide with no inter-shard coordination.  "
+                    "Shards federate their caches read-through (--peer) "
+                    "and share one trace store via $REPRO_TRACE_DIR.  A "
+                    "shard that dies mid-batch is marked down and its "
+                    "jobs re-route along the hash ring.",
+    )
+    cluster_sub = cluster_p.add_subparsers(dest="action", required=True)
+
+    cluster_serve_p = cluster_sub.add_parser(
+        "serve", help="run one cluster shard (a daemon on a TCP port)")
+    cluster_serve_p.add_argument("--listen", required=True,
+                                 metavar="HOST:PORT",
+                                 help="TCP bind address; port 0 picks a "
+                                      "free port (reported on the ready "
+                                      "line)")
+    cluster_serve_p.add_argument("--peer", action="append", default=None,
+                                 metavar="ADDR",
+                                 help="sibling shard to consult on cache "
+                                      "misses (repeatable; host:port or "
+                                      "a Unix socket path)")
+    cluster_serve_p.add_argument("--token", default=None,
+                                 help="require this shared-secret token "
+                                      "on every request (default: "
+                                      f"${TOKEN_ENV} or no auth)")
+    cluster_serve_p.add_argument("--journal", default=None, metavar="PATH",
+                                 help="append every completed job to this "
+                                      "JSONL journal and replay it on "
+                                      "restart")
+    cluster_serve_p.add_argument("--queue-bound", type=int, default=None,
+                                 metavar="N",
+                                 help="admission control: reject submits "
+                                      "once N jobs are outstanding "
+                                      f"(default: ${QUEUE_BOUND_ENV} or "
+                                      "unbounded)")
+    cluster_serve_p.add_argument("--job-timeout", type=float, default=None,
+                                 metavar="SECONDS",
+                                 help="kill a worker holding one job "
+                                      "longer than this and requeue it "
+                                      f"(default: ${JOB_TIMEOUT_ENV} or "
+                                      "no timeout)")
+    cluster_serve_p.add_argument("--chaos", action="store_true",
+                                 help="serve the 'chaos' op and export "
+                                      f"the ${FAULTS_ENV} plan to workers")
+    cluster_serve_p.set_defaults(fn=cmd_cluster)
+
+    def _cluster_client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--shards", default=None, metavar="ADDR,ADDR",
+                       help="comma-separated shard addresses "
+                            f"(default: ${SHARDS_ENV})")
+        p.add_argument("--token", default=None,
+                       help="shared-secret auth token "
+                            f"(default: ${TOKEN_ENV})")
+
+    cluster_status_p = cluster_sub.add_parser(
+        "status", help="aggregate every shard's metrics into one view")
+    _cluster_client_args(cluster_status_p)
+    cluster_status_p.set_defaults(fn=cmd_cluster)
+
+    cluster_run_p = cluster_sub.add_parser(
+        "run", help="run a predictors x workloads grid across the shards")
+    _cluster_client_args(cluster_run_p)
+    cluster_run_p.add_argument("--workloads", required=True,
+                               help="comma-separated workloads (catalog "
+                                    "or scenario-c*-e*-l* names)")
+    cluster_run_p.add_argument("--predictors", default="vtage-2dstride",
+                               help="comma-separated predictor "
+                                    "configurations (see 'repro list')")
+    cluster_run_p.add_argument("--recovery", default="squash",
+                               choices=("squash", "reissue"))
+    cluster_run_p.add_argument("--no-fpc", action="store_true",
+                               help="use plain 3-bit confidence counters")
+    cluster_run_p.add_argument("--uops", type=int, default=DEFAULT_MEASURE)
+    cluster_run_p.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    cluster_run_p.set_defaults(fn=cmd_cluster)
 
     submit_p = sub.add_parser(
         "submit",

@@ -72,24 +72,42 @@ class ResultCache:
         if cached is not None:
             self.memory_hits += 1
             return cached
-        if self.directory is not None:
-            path = self._path(key)
-            if path.is_file():
-                try:
-                    with profiling.phase("result-cache-io"):
-                        entry = json.loads(path.read_text())
-                except (OSError, ValueError):
-                    entry = None
-                if (
-                    entry is not None
-                    and entry.get("version") == CACHE_FORMAT_VERSION
-                ):
-                    result = SimResult.from_dict(entry["result"])
-                    self._memory[key] = result
-                    self.disk_hits += 1
-                    return result
+        result = self._load_disk(key)
+        if result is not None:
+            self.disk_hits += 1
+            return result
         self.misses += 1
         return None
+
+    def peek(self, key: str) -> SimResult | None:
+        """Key-only lookup that never counts as a hit or miss.
+
+        The federated-cache ``lookup`` protocol op answers peers from
+        here: peers carry content keys, not job specs, and a peer's
+        probe must not skew this shard's own hit/miss accounting.
+        """
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        return self._load_disk(key)
+
+    def _load_disk(self, key: str) -> SimResult | None:
+        """Read one entry from the disk layer into memory (or ``None``)."""
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        try:
+            with profiling.phase("result-cache-io"):
+                entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if entry.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        result = SimResult.from_dict(entry["result"])
+        self._memory[key] = result
+        return result
 
     def put_memory(self, job: SimJob, result: SimResult) -> None:
         """Store in the in-process layer only (no disk write).

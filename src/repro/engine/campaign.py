@@ -257,12 +257,14 @@ def _digest_job_keys(keys: Iterable[str]) -> str:
 # ---------------------------------------------------------------------------
 
 #: Campaign execution backends ``engine_for_backend`` understands.
-BACKENDS = ("local", "service")
+BACKENDS = ("local", "service", "cluster")
 
 
 def engine_for_backend(
     backend: str = "local",
     socket_path: str | Path | None = None,
+    shards: list[str] | None = None,
+    token: str | None = None,
 ) -> Engine:
     """Resolve a campaign execution backend name to an :class:`Engine`.
 
@@ -270,15 +272,23 @@ def engine_for_backend(
     ``REPRO_JOBS``); ``service`` targets a running ``repro serve`` daemon
     at *socket_path* — batches travel over the socket, and overlapping
     campaigns from concurrent clients share the daemon's hot cache and
-    in-flight dedupe.  Campaign journals stay client-side either way, so
-    ``campaign resume`` semantics are identical across backends.
+    in-flight dedupe.  ``cluster`` routes batches across the *shards*
+    addresses (``repro cluster serve`` daemons, flag or
+    ``$REPRO_CLUSTER_SHARDS``) by consistent-hashed content key —
+    same sharing story, N machines wide.  Campaign journals stay
+    client-side either way, so ``campaign resume`` semantics are
+    identical across backends.
     """
     if backend == "local":
         return default_engine()
     if backend == "service":
         from repro.engine.client import service_engine
 
-        return service_engine(socket_path)
+        return service_engine(socket_path, token=token)
+    if backend == "cluster":
+        from repro.engine.cluster import cluster_engine
+
+        return cluster_engine(shards, token=token)
     raise ValueError(
         f"unknown campaign backend {backend!r}; pick one of {BACKENDS}"
     )

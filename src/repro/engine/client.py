@@ -1,10 +1,18 @@
 """Client side of the simulation service protocol.
 
 A :class:`ServiceClient` speaks the newline-JSON protocol of
-:mod:`repro.engine.service` over one persistent Unix-socket connection:
+:mod:`repro.engine.service` over one persistent connection:
 ``ping``/``status``/``submit``/``results``/``shutdown`` methods mirror
 the server ops one-to-one, and :meth:`ServiceClient.run_jobs` gives the
-engine-shaped "batch in, results in submission order out" call.
+engine-shaped "batch in, results in submission order out" call.  The
+target is a Unix socket path by default; a ``tcp://host:port`` address
+connects to a TCP daemon (a cluster shard) instead — the prefix is
+mandatory for TCP because a bare ``host:port`` string is also a legal
+socket *path*.  TCP daemons usually require the shared-secret token
+(``token=`` / ``$REPRO_SERVICE_TOKEN``), which the client attaches to
+every request; a rejection is the non-retryable
+:class:`ServiceAuthError` (a corrected token needs a new client call,
+resending the same one cannot succeed).
 
 Two adapters make the service a drop-in **backend** for existing code:
 
@@ -47,7 +55,6 @@ import os
 import socket
 import time
 from dataclasses import dataclass
-from pathlib import Path
 
 from repro.engine.job import SimJob
 from repro.pipeline.result import SimResult
@@ -75,6 +82,10 @@ class ServiceTimeout(ServiceError):
 
 class ServiceOverloaded(ServiceError):
     """The daemon's admission control rejected the batch (backpressure)."""
+
+
+class ServiceAuthError(ServiceError):
+    """The daemon rejected the request's auth token (not retryable)."""
 
 
 def resolve_client_timeout(explicit: float | None = None) -> float | None:
@@ -129,13 +140,28 @@ class ServiceClient:
 
     def __init__(self, socket_path: str | os.PathLike | None = None,
                  timeout: float | None = None,
-                 retry: RetryPolicy | None = None):
+                 retry: RetryPolicy | None = None,
+                 token: str | None = None):
         # Imported here, not at module top, to keep the client importable
         # without dragging in the asyncio server machinery's dependencies.
-        from repro.engine.service import default_socket_path
+        from repro.engine.service import (
+            default_socket_path,
+            parse_address,
+            resolve_service_token,
+        )
 
-        self.socket_path = default_socket_path(socket_path)
+        if socket_path is not None and str(socket_path).startswith("tcp://"):
+            self._target = parse_address(socket_path)
+            #: Display/identity form of the target — a path for Unix
+            #: daemons, ``tcp://host:port`` for shards.  The attribute
+            #: keeps its historical name; every existing caller only
+            #: ever formats it into messages.
+            self.socket_path = str(socket_path)
+        else:
+            self.socket_path = default_socket_path(socket_path)
+            self._target = ("unix", str(self.socket_path))
         self.timeout = resolve_client_timeout(timeout)
+        self.token = resolve_service_token(token)
         #: Policy :meth:`run_jobs` retries transient failures under
         #: (``None`` disables retries; requests themselves never retry —
         #: only the idempotent batch call does).
@@ -148,12 +174,21 @@ class ServiceClient:
     def connect(self) -> None:
         if self._sock is not None:
             return
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
+        sock = None
         try:
-            sock.connect(str(self.socket_path))
+            if self._target[0] == "tcp":
+                sock = socket.create_connection(
+                    (self._target[1], self._target[2]), timeout=self.timeout)
+                sock.settimeout(self.timeout)
+                # One request per line: latency beats Nagle batching.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            else:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self._target[1])
         except OSError as exc:
-            sock.close()
+            if sock is not None:
+                sock.close()
             raise ServiceUnavailable(
                 f"cannot reach the repro service at {self.socket_path} "
                 f"({exc}); is `repro serve` running?"
@@ -194,9 +229,12 @@ class ServiceClient:
         ``readline`` returns), and an ``overloaded`` response is
         :class:`ServiceOverloaded`.  Anything else the daemon refuses
         stays a plain :class:`ServiceError` (not retryable: resubmitting
-        a malformed request can never help).
+        a malformed request can never help); an ``auth`` rejection is the
+        equally non-retryable :class:`ServiceAuthError`.
         """
         self.connect()
+        if self.token is not None and "token" not in payload:
+            payload = dict(payload, token=self.token)
         try:
             self._file.write((json.dumps(payload) + "\n").encode())
             self._file.flush()
@@ -227,6 +265,9 @@ class ServiceClient:
             if response.get("overloaded"):
                 raise ServiceOverloaded(
                     response.get("error", "service overloaded"))
+            if response.get("auth"):
+                raise ServiceAuthError(
+                    response.get("error", "service authentication failed"))
             raise ServiceError(response.get("error", "unknown service error"))
         return response
 
@@ -278,6 +319,20 @@ class ServiceClient:
         """The active fault plan of a ``--chaos`` daemon (``chaos`` op)."""
         return self.request({"op": "chaos"})["plan"]
 
+    def metrics(self) -> dict:
+        """The daemon's flat ops-surface snapshot (``metrics`` op)."""
+        return self.request({"op": "metrics"})["metrics"]
+
+    def lookup(self, keys: list[str]) -> dict:
+        """Probe the daemon's cache by content key (``lookup`` op).
+
+        Returns ``{key: SimResult}`` for the keys it holds.  This is the
+        federation primitive — shards call it on each other — but it is
+        also handy for tests asserting *where* a result is cached.
+        """
+        found = self.request({"op": "lookup", "keys": list(keys)})["found"]
+        return {key: SimResult.from_dict(raw) for key, raw in found.items()}
+
     def run_jobs(self, jobs: list[SimJob]) -> list[SimResult]:
         """Submit, wait, and decode: the engine-shaped batch call.
 
@@ -306,10 +361,11 @@ class ServiceClient:
         raise AssertionError("unreachable")  # pragma: no cover
 
 
-def service_running(socket_path: str | os.PathLike | None = None) -> bool:
+def service_running(socket_path: str | os.PathLike | None = None,
+                    token: str | None = None) -> bool:
     """True when a daemon answers ``ping`` on *socket_path*."""
     try:
-        with ServiceClient(socket_path, timeout=1.0) as client:
+        with ServiceClient(socket_path, timeout=1.0, token=token) as client:
             client.ping()
         return True
     except ServiceError:
@@ -317,16 +373,17 @@ def service_running(socket_path: str | os.PathLike | None = None) -> bool:
 
 
 def wait_for_service(socket_path: str | os.PathLike | None = None,
-                     timeout: float = 10.0) -> None:
+                     timeout: float = 10.0,
+                     token: str | None = None) -> None:
     """Block until a daemon answers ``ping`` (for launchers and tests)."""
     deadline = time.monotonic() + timeout
     while True:
-        if service_running(socket_path):
+        if service_running(socket_path, token=token):
             return
         if time.monotonic() >= deadline:
             raise ServiceError(
                 f"no repro service appeared at "
-                f"{Path(socket_path) if socket_path else 'the default socket'} "
+                f"{socket_path if socket_path else 'the default socket'} "
                 f"within {timeout:.0f}s"
             )
         time.sleep(0.05)
@@ -356,7 +413,8 @@ class ServiceExecutor:
 
 
 def service_engine(socket_path: str | os.PathLike | None = None,
-                   timeout: float | None = None):
+                   timeout: float | None = None,
+                   token: str | None = None):
     """An :class:`~repro.engine.api.Engine` whose batches run on a daemon.
 
     The local cache is memory-only: persistence and cross-client sharing
@@ -367,5 +425,5 @@ def service_engine(socket_path: str | os.PathLike | None = None,
     from repro.engine.api import Engine
     from repro.engine.cache import ResultCache
 
-    client = ServiceClient(socket_path, timeout=timeout)
+    client = ServiceClient(socket_path, timeout=timeout, token=token)
     return Engine(executor=ServiceExecutor(client), cache=ResultCache(None))

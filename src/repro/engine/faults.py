@@ -79,6 +79,16 @@ SITES: dict[str, tuple[str, ...]] = {
     # failure in the parent.  Both must degrade to a local rebuild.
     "shm.attach": ("fail",),
     "shm.materialize": ("fail",),
+    # Cluster plane, daemon side: a federated-cache peer lookup that
+    # fails outright or stalls past the peer deadline.  Either way the
+    # shard must degrade to executing locally — a slow peer can never be
+    # worse than no peer.
+    "peer.lookup": ("fail", "stall"),
+    # Cluster plane, router side: a routing decision that picks the
+    # wrong shard ("misroute" — any shard can run any job, so this only
+    # costs cache locality) or finds its shard dead ("drop" — the
+    # router must mark it down and rebalance onto the ring's survivors).
+    "cluster.route": ("misroute", "drop"),
 }
 
 

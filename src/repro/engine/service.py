@@ -9,6 +9,25 @@ daemon's cache *and* its in-flight job set, overlapping submissions from
 concurrent clients simulate each unique spec exactly once — the
 "shared hot cache" serving story the ROADMAP asks for.
 
+The same daemon also serves the cluster plane (:mod:`repro.engine.cluster`):
+``--listen host:port`` binds a TCP socket instead of (not in addition to)
+the Unix one, speaking the identical newline-JSON protocol, so N daemons
+on N ports become shards behind a :class:`~repro.engine.cluster.ShardRouter`.
+TCP mode adds two things Unix mode never needed:
+
+* **auth** — a shared-secret token (``--token`` / ``$REPRO_SERVICE_TOKEN``).
+  When configured, every request must carry ``"token"``; a mismatch is
+  answered ``{"ok": false, "auth": true, ...}`` (constant-time compare),
+  which clients raise as a non-retryable
+  :class:`~repro.engine.client.ServiceAuthError`.
+* **cache federation** — ``--peer`` addresses name sibling shards.  On a
+  ``submit`` whose keys miss the local cache, the daemon first asks its
+  peers (the ``lookup`` op: key in, cached result out, deliberately
+  accounting-neutral and never recursive) and seeds any answers into its
+  own cache, so work one shard finished is never re-simulated by another.
+  Peer probes ride a short deadline and fail open: an unreachable peer
+  costs a counter tick (``metrics``), never a stalled submit.
+
 Protocol: newline-delimited JSON request/response over the socket.  One
 request per line, one response line per request, connections may pipeline
 many requests.  Requests are ``{"op": <name>, ...}``; responses are
@@ -36,6 +55,15 @@ many requests.  Requests are ``{"op": <name>, ...}``; responses are
     The active fault-injection plan (:mod:`repro.engine.faults`) — site
     hit counts and fired rules.  Only served when the daemon was started
     with chaos enabled (``repro serve --chaos``); refused otherwise.
+``metrics``
+    The flat ops surface the cluster plane scrapes: queue depth and
+    in-flight jobs, cache hit/miss/store counters, peer-federation
+    counters, fast-path fallback counters and fault-plane state — one
+    JSON object per shard, aggregated by ``repro cluster status``.
+``lookup``
+    ``{"keys": [<content key>, ...]}`` — answer from the local cache
+    only (:meth:`~repro.engine.cache.ResultCache.peek`; no queueing, no
+    peer recursion).  This is the server half of cache federation.
 ``shutdown``
     Stop the daemon after acknowledging.
 
@@ -60,10 +88,12 @@ See docs/architecture.md for the full data-flow picture.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 import os
 import signal
 import sys
+import time
 from pathlib import Path
 
 try:
@@ -82,18 +112,32 @@ from repro.engine.queue import (
     QueueOverloaded,
     WorkerPool,
 )
+from repro.pipeline.result import SimResult
 
 #: Environment variable naming the default service socket path.
 SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+
+#: Environment variable holding the shared-secret auth token (TCP mode).
+TOKEN_ENV = "REPRO_SERVICE_TOKEN"
 
 #: Fallback socket path when neither ``--socket`` nor the env var is set.
 DEFAULT_SOCKET = "repro-service.sock"
 
 #: Wire protocol version, echoed by ``ping`` and checked by clients.
-PROTOCOL_VERSION = 1
+#: v2 added TCP transport, token auth and the ``metrics``/``lookup`` ops.
+PROTOCOL_VERSION = 2
 
 #: Maximum request/response line length (a 20-job grid is ~20 KB).
 MAX_LINE = 64 * 1024 * 1024
+
+#: Most jobs one ``submit`` may carry — an admission bound on request
+#: *width* to complement the queue-depth bound on request *volume*.
+MAX_SUBMIT_JOBS = 4096
+
+#: Deadline for one peer-cache probe.  Short on purpose: federation is
+#: an optimisation, and a dead peer must cost milliseconds, not stall
+#: every submit behind a 300-second client-style timeout.
+PEER_LOOKUP_TIMEOUT = 2.0
 
 #: Most tickets a daemon remembers; beyond this, the oldest *completed*
 #: tickets are forgotten first (a never-polled ``--no-wait`` submission
@@ -116,6 +160,53 @@ def default_socket_path(explicit: str | os.PathLike | None = None) -> Path:
     return Path(raw) if raw else Path(DEFAULT_SOCKET)
 
 
+def resolve_service_token(explicit: str | None = None) -> str | None:
+    """Resolve the shared-secret token (flag, else env, else none).
+
+    ``None`` disables auth entirely — the Unix-socket default, where
+    filesystem permissions already gate access.  TCP deployments should
+    always set one.
+    """
+    if explicit:
+        return explicit
+    raw = os.environ.get(TOKEN_ENV, "").strip()
+    return raw or None
+
+
+def parse_address(address: str | os.PathLike) -> tuple:
+    """Split a service address into ``("tcp", host, port)`` or
+    ``("unix", path)``.
+
+    TCP addresses must be explicit — ``tcp://host:port`` — because a
+    bare string containing a colon is a perfectly legal Unix socket
+    path; guessing would mis-route someone's ``./run:1/svc.sock``.
+    """
+    text = str(address)
+    if text.startswith("tcp://"):
+        host, sep, port = text[len("tcp://"):].rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ValueError(
+                f"bad service address {text!r} (want tcp://host:port)")
+        return ("tcp", host, int(port))
+    return ("unix", text)
+
+
+def parse_listen(listen: str) -> tuple[str, int]:
+    """Parse a ``--listen`` value (``host:port``, ``tcp://`` optional).
+
+    Port ``0`` is valid and means "kernel picks": the daemon's ready
+    line and ``ping`` report the actual bound port, which is how the
+    test harness runs many shards without port coordination.
+    """
+    text = str(listen)
+    if text.startswith("tcp://"):
+        text = text[len("tcp://"):]
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"bad --listen {listen!r} (want host:port)")
+    return (host or "127.0.0.1", int(port))
+
+
 class SimService:
     """A running daemon: socket server + job queue + cache + journal."""
 
@@ -129,8 +220,25 @@ class SimService:
         max_depth: int | None = None,
         job_timeout: float | None = None,
         chaos: bool = False,
+        listen: str | None = None,
+        token: str | None = None,
+        peers: list[str] | None = None,
     ):
         self.socket_path = default_socket_path(socket_path)
+        #: TCP bind (host, port) when serving a cluster shard; ``None``
+        #: keeps the Unix-socket transport.  The two are exclusive — a
+        #: shard *is* a plain daemon on a different transport.
+        self.listen = parse_listen(listen) if listen else None
+        #: Actual bound address (``tcp://host:port``) once started;
+        #: meaningful with ``--listen host:0``.
+        self.listen_address: str | None = None
+        self.token = resolve_service_token(token)
+        #: Sibling shard addresses consulted by the cache-federation
+        #: read-through (each ``tcp://host:port`` or a Unix socket path).
+        self.peers = [str(peer) for peer in (peers or [])]
+        self.peer_hits = 0
+        self.peer_misses = 0
+        self.peer_failures = 0
         self.workers = resolve_jobs(workers)
         self.cache = cache if cache is not None else ResultCache(default_cache_dir())
         self.journal_path = Path(journal_path) if journal_path else None
@@ -147,6 +255,7 @@ class SimService:
         self._tickets: dict[int, dict] = {}
         self._next_ticket = 0
         self._lock_fh = None
+        self._started_at: float | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -197,7 +306,12 @@ class SimService:
     async def start(self) -> None:
         """Open the journal, start the queue, bind the socket."""
         self._stop_event = asyncio.Event()
-        self._acquire_lock()
+        self._started_at = time.monotonic()
+        if self.listen is None:
+            # The flock + stale-socket dance only exists because Unix
+            # socket files outlive their listeners; a TCP bind is
+            # exclusive by itself (EADDRINUSE), so shards skip it.
+            self._acquire_lock()
         try:
             if self.journal_path is not None:
                 self.journal = CampaignJournal(self.journal_path)
@@ -216,23 +330,34 @@ class SimService:
                                   max_depth=self.max_depth,
                                   job_timeout=self.job_timeout)
             await self.queue.start()
-            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-            if self.socket_path.exists():
-                # Refuse to hijack a live daemon; only a *stale* socket (no
-                # listener answering ping) is cleaned up and bound over.
-                # The lockfile taken above makes this check race-free.
-                from repro.engine.client import ServiceError, service_running
-
-                if service_running(self.socket_path):
-                    raise ServiceError(
-                        f"another repro service is already listening on "
-                        f"{self.socket_path}; stop it first or pick a "
-                        "different --socket"
+            if self.listen is not None:
+                host, port = self.listen
+                self._server = await asyncio.start_server(
+                    self._handle, host=host, port=port, limit=MAX_LINE,
+                )
+                bound = self._server.sockets[0].getsockname()
+                self.listen_address = f"tcp://{bound[0]}:{bound[1]}"
+            else:
+                self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+                if self.socket_path.exists():
+                    # Refuse to hijack a live daemon; only a *stale* socket
+                    # (no listener answering ping) is cleaned up and bound
+                    # over.  The lockfile taken above makes this race-free.
+                    from repro.engine.client import (
+                        ServiceError,
+                        service_running,
                     )
-                self.socket_path.unlink()
-            self._server = await asyncio.start_unix_server(
-                self._handle, path=str(self.socket_path), limit=MAX_LINE,
-            )
+
+                    if service_running(self.socket_path):
+                        raise ServiceError(
+                            f"another repro service is already listening on "
+                            f"{self.socket_path}; stop it first or pick a "
+                            "different --socket"
+                        )
+                    self.socket_path.unlink()
+                self._server = await asyncio.start_unix_server(
+                    self._handle, path=str(self.socket_path), limit=MAX_LINE,
+                )
         except BaseException:
             await self._teardown_queue_and_journal()
             self._release_lock()
@@ -254,11 +379,12 @@ class SimService:
             await self._server.wait_closed()
             self._server = None
         await self._teardown_queue_and_journal()
-        try:
-            self.socket_path.unlink()
-        except OSError:
-            pass
-        self._release_lock()
+        if self.listen is None:
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+            self._release_lock()
 
     async def _teardown_queue_and_journal(self) -> None:
         if self.queue is not None:
@@ -296,7 +422,21 @@ class SimService:
         self._conn_tasks.add(task)
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # A request line past MAX_LINE: answer with a typed
+                    # refusal and hang up.  The buffered tail of the
+                    # oversized line cannot be resynchronised, so the
+                    # connection is unusable afterwards — but the client
+                    # gets a reason instead of a silent reset.
+                    refusal = {"ok": False,
+                               "error": f"request line exceeds {MAX_LINE} "
+                                        "bytes"}
+                    writer.write(
+                        (json.dumps(refusal, sort_keys=True) + "\n").encode())
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 try:
@@ -341,6 +481,17 @@ class SimService:
                 pass
 
     async def _dispatch(self, request: dict) -> dict:
+        if self.token is not None:
+            supplied = request.get("token")
+            if not isinstance(supplied, str) or \
+                    not hmac.compare_digest(supplied, self.token):
+                # "auth": true lets the client raise the non-retryable
+                # ServiceAuthError — resending a bad token cannot help.
+                # The constant-time compare keeps the shared secret from
+                # leaking through response timing.
+                return {"ok": False, "auth": True,
+                        "error": "authentication failed: bad or missing "
+                                 "token (set REPRO_SERVICE_TOKEN)"}
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) \
             else None
@@ -354,6 +505,14 @@ class SimService:
 
     # -- ops -------------------------------------------------------------
 
+    def describe_address(self) -> str:
+        """The daemon's serving address (TCP bind or Unix socket path)."""
+        if self.listen_address is not None:
+            return self.listen_address
+        if self.listen is not None:  # parsed but not yet bound
+            return f"tcp://{self.listen[0]}:{self.listen[1]}"
+        return str(self.socket_path)
+
     async def _op_ping(self, request: dict) -> dict:
         return {
             "ok": True,
@@ -362,6 +521,10 @@ class SimService:
                 "protocol": PROTOCOL_VERSION,
                 "workers": self.workers,
                 "socket": str(self.socket_path),
+                "transport": "tcp" if self.listen is not None else "unix",
+                "address": self.describe_address(),
+                "auth": self.token is not None,
+                "peers": len(self.peers),
             },
         }
 
@@ -400,14 +563,187 @@ class SimService:
         return {"ok": True,
                 "plan": plan.describe() if plan is not None else None}
 
+    async def _op_metrics(self, request: dict) -> dict:
+        """The per-shard ops surface the cluster plane scrapes.
+
+        One flat JSON object: identity, queue pressure (depth / pending /
+        in-flight), cache effectiveness, peer-federation counters,
+        fast-path fallback counters and fault-plane state.  Everything a
+        ``repro cluster status`` row needs, cheap enough to poll.
+        """
+        from repro.pipeline.fastsim import fallback_stats
+
+        queue = self.queue.describe()
+        workers = queue["workers"]
+        cache = self.cache.stats()
+        plan = faults.active_plan()
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else 0.0)
+        return {
+            "ok": True,
+            "metrics": {
+                "shard": {
+                    "pid": os.getpid(),
+                    "address": self.describe_address(),
+                    "transport": "tcp" if self.listen is not None
+                                 else "unix",
+                    "workers": self.workers,
+                    "uptime_s": round(uptime, 3),
+                },
+                "queue": {
+                    "depth": queue["depth"],
+                    "pending": queue["pending"],
+                    "in_flight": sum(1 for w in workers
+                                     if w["task"] is not None),
+                    "workers_alive": sum(1 for w in workers if w["alive"]),
+                    "max_depth": queue["max_depth"],
+                    "restarts": queue["restarts"],
+                    "stats": queue["stats"],
+                },
+                "cache": {
+                    "hits": cache["memory_hits"] + cache["disk_hits"],
+                    "misses": cache["misses"],
+                    "stores": cache["stores"],
+                    "memory_entries": cache["memory_entries"],
+                    "disk_entries": cache["disk_entries"],
+                    "write_failures": cache["write_failures"],
+                },
+                "peers": {
+                    "configured": len(self.peers),
+                    "hits": self.peer_hits,
+                    "misses": self.peer_misses,
+                    "failures": self.peer_failures,
+                },
+                "fallbacks": fallback_stats(),
+                "faults": {
+                    "active": plan is not None,
+                    "fired": (sum(plan.fired.values())
+                              if plan is not None else 0),
+                },
+                "tickets": len(self._tickets),
+            },
+        }
+
+    async def _op_lookup(self, request: dict) -> dict:
+        """Answer peer cache probes from the local cache only.
+
+        Strictly local (:meth:`ResultCache.peek`): no queueing, no
+        accounting, and — critically — no further peer fan-out, so a
+        federation probe can never recurse around the ring.
+        """
+        keys = request.get("keys")
+        if not isinstance(keys, list) or \
+                not all(isinstance(k, str) for k in keys):
+            return {"ok": False,
+                    "error": "lookup needs a 'keys' list of content keys"}
+        found = {}
+        for key in keys:
+            result = self.cache.peek(key)
+            if result is not None:
+                found[key] = result.to_dict()
+        return {"ok": True, "found": found}
+
+    # -- cache federation -------------------------------------------------
+
+    async def _peer_request(self, address: str, payload: dict) -> dict:
+        """One short-deadline protocol round against a sibling shard."""
+        kind, *where = parse_address(address)
+        if kind == "tcp":
+            opening = asyncio.open_connection(where[0], where[1],
+                                              limit=MAX_LINE)
+        else:
+            opening = asyncio.open_unix_connection(where[0], limit=MAX_LINE)
+        reader, writer = await asyncio.wait_for(opening, PEER_LOOKUP_TIMEOUT)
+        try:
+            if self.token is not None:
+                payload = dict(payload, token=self.token)
+            writer.write((json.dumps(payload) + "\n").encode())
+            await asyncio.wait_for(writer.drain(), PEER_LOOKUP_TIMEOUT)
+            line = await asyncio.wait_for(reader.readline(),
+                                          PEER_LOOKUP_TIMEOUT)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+        if not line.endswith(b"\n"):
+            raise ConnectionResetError("peer closed mid-response")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error", "peer refused lookup"))
+        return response
+
+    async def _peer_fill(self, jobs: list[SimJob]) -> int:
+        """Seed the local cache with peers' results for *jobs* (read-through).
+
+        Asks every configured peer (concurrently) for the batch's
+        locally-missing content keys and seeds whatever comes back.
+        Fails open on every axis — a dead, slow or mid-handshake peer
+        only ticks :attr:`peer_failures` — because federation is a
+        cross-shard optimisation, never a correctness dependency.
+        Returns the number of keys seeded from peers.
+        """
+        if not self.peers:
+            return 0
+        missing = []
+        for job in jobs:
+            key = job.content_key()
+            if key not in missing and self.cache.peek(key) is None:
+                missing.append(key)
+        if not missing:
+            return 0
+
+        async def probe(peer: str) -> dict:
+            rule = faults.fire("peer.lookup")
+            if rule is not None and rule.action == "fail":
+                raise ConnectionRefusedError(
+                    f"injected peer.lookup failure for {peer}")
+            if rule is not None and rule.action == "stall":
+                # Out-stall the probe deadline: the submit path must
+                # treat a hung peer exactly like a dead one.
+                await asyncio.sleep(rule.arg if rule.arg
+                                    else PEER_LOOKUP_TIMEOUT * 5)
+            response = await self._peer_request(
+                peer, {"op": "lookup", "keys": missing})
+            return response.get("found", {})
+
+        outcomes = await asyncio.gather(
+            *(asyncio.wait_for(probe(peer), PEER_LOOKUP_TIMEOUT * 2)
+              for peer in self.peers),
+            return_exceptions=True)
+        seeded: set[str] = set()
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                self.peer_failures += 1
+                continue
+            for key, raw in outcome.items():
+                if key not in missing or not isinstance(raw, dict):
+                    continue
+                try:
+                    result = SimResult.from_dict(raw)
+                except (TypeError, ValueError, KeyError):
+                    continue
+                self.cache.seed(key, result)
+                seeded.add(key)
+        self.peer_hits += len(seeded)
+        self.peer_misses += len(missing) - len(seeded)
+        return len(seeded)
+
     async def _op_submit(self, request: dict) -> dict:
         raw_jobs = request.get("jobs")
         if not isinstance(raw_jobs, list) or not raw_jobs:
             return {"ok": False, "error": "submit needs a non-empty 'jobs' list"}
+        if len(raw_jobs) > MAX_SUBMIT_JOBS:
+            return {"ok": False,
+                    "error": f"submit carries {len(raw_jobs)} jobs; the "
+                             f"per-request bound is {MAX_SUBMIT_JOBS} — "
+                             "split the batch"}
         try:
             jobs = [SimJob.from_dict(raw) for raw in raw_jobs]
         except (TypeError, ValueError) as exc:
             return {"ok": False, "error": f"bad job spec: {exc}"}
+        peer_hits = await self._peer_fill(jobs)
         try:
             futures, summary = self.queue.submit(jobs)
         except QueueOverloaded as exc:
@@ -418,6 +754,7 @@ class SimService:
                     "depth": self.queue.depth,
                     "max_depth": self.queue.max_depth,
                     "error": str(exc)}
+        summary["peer_hits"] = peer_hits
         ticket_id = self._remember_ticket(futures)
         if not request.get("wait", True):
             return {"ok": True, "ticket": ticket_id, "summary": summary}
@@ -490,10 +827,13 @@ def run_service(
     max_depth: int | None = None,
     job_timeout: float | None = None,
     chaos: bool = False,
+    listen: str | None = None,
+    token: str | None = None,
+    peers: list[str] | None = None,
     install_signal_handlers: bool = True,
     ready_message: bool = True,
 ) -> int:
-    """Blocking entry point behind ``repro serve``.
+    """Blocking entry point behind ``repro serve`` / ``repro cluster serve``.
 
     Runs the daemon until ``SIGINT``/``SIGTERM`` or a client ``shutdown``
     op.  Returns a process exit code.  With *chaos*, any fault plan in
@@ -501,7 +841,10 @@ def run_service(
     spawned workers; unset plans still activate from the environment
     either way (the chaos *flag* only gates introspection, not
     injection — an un-flagged daemon under ``REPRO_FAULTS`` is exactly
-    the "operator forgot" scenario the suite tests).
+    the "operator forgot" scenario the suite tests).  *listen* switches
+    the transport to TCP (``host:port``; port 0 lets the kernel pick and
+    the ready line reports the bound address), *token* arms shared-secret
+    auth, and *peers* names sibling shards for cache federation.
     """
     if chaos:
         # Re-export whatever plan is active so spawn-start workers (which
@@ -509,12 +852,20 @@ def run_service(
         faults.install_plan(faults.active_plan(), export_env=True)
     service = SimService(socket_path, workers=workers, cache=cache,
                          journal_path=journal_path, max_depth=max_depth,
-                         job_timeout=job_timeout, chaos=chaos)
+                         job_timeout=job_timeout, chaos=chaos,
+                         listen=listen, token=token, peers=peers)
 
     def _print_ready(svc: SimService) -> None:
         where = svc.cache.directory or "memory-only"
         journal = svc.journal_path or "disabled"
-        print(f"repro service: socket={svc.socket_path} "
+        if svc.listen is not None:
+            # Machine-readable on purpose: the cluster harness parses
+            # "listen=tcp://host:port" to learn a :0 daemon's real port.
+            bind = (f"listen={svc.listen_address} auth="
+                    f"{'on' if svc.token else 'off'} peers={len(svc.peers)}")
+        else:
+            bind = f"socket={svc.socket_path}"
+        print(f"repro service: {bind} "
               f"workers={svc.workers} cache={where} journal={journal}"
               + (f" (replayed {svc.replayed} journaled results)"
                  if svc.replayed else ""),

@@ -21,12 +21,28 @@ to the temp file and raises — simulating a kill mid-write and leaving
 exactly the debris a real crash leaves (a ``*.tmp.*`` orphan, never a
 torn committed file); ``enospc``/``error`` raise the corresponding
 :class:`OSError` before any bytes land.
+
+Rename-atomicity protects *readers* from torn files, but a
+read-modify-write of a shared registry (the fuzzer corner registry, the
+ingest sidecars — one file updated by any number of concurrent shards,
+fuzzers and ingest runs) additionally needs mutual exclusion or two
+writers silently drop each other's updates.  :func:`file_lock` provides
+it: an advisory ``flock`` on a ``<name>.lock`` sibling, held across the
+load → mutate → :func:`atomic_write_text` sequence.  The lock file is a
+*separate* path on purpose — locking the data file itself would pin an
+fd to a name the rename immediately replaces.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 
 def _fsync_dir(directory: Path) -> None:
@@ -94,3 +110,30 @@ def atomic_write_text(path: str | os.PathLike, text: str, *,
                       site: str | None = None) -> None:
     """:func:`atomic_write_bytes` for UTF-8 text payloads."""
     atomic_write_bytes(path, text.encode(), site=site)
+
+
+@contextmanager
+def file_lock(path: str | os.PathLike):
+    """Serialise read-modify-write cycles on the file at *path*.
+
+    Takes a blocking exclusive ``flock`` on the sibling lock file
+    ``<name>.lock`` (created on demand; the parent directory must
+    exist).  Concurrent processes queue instead of interleaving, so a
+    registry updated as load → mutate → :func:`atomic_write_text`
+    under this lock never loses a writer's entry.  The lock releases
+    with the context (and with the fd on any process death, including
+    ``SIGKILL``); the lock file itself is left behind — unlinking it
+    would race a waiter that already opened it.  On platforms without
+    ``fcntl`` this degrades to no locking (writes stay rename-atomic).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    path = Path(path)
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "a+") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)

@@ -41,7 +41,7 @@ from pathlib import Path
 from repro.pipeline.config import CoreConfig, RecoveryMode
 from repro.pipeline.core import CoreModel, simulate
 from repro.pipeline import fastsim
-from repro.util.atomicio import atomic_write_text
+from repro.util.atomicio import atomic_write_text, file_lock
 from repro.workloads import catalog, ingest, scenarios
 
 #: Bump when the spec grammar or sampling distribution changes: a replay
@@ -310,25 +310,32 @@ class CornerRegistry:
 
     def register(self, kind: str, detail: str, spec: FuzzSpec,
                  seed: int) -> str:
-        """Record one corner under a stable generated name; returns it."""
-        data = self.load()
-        corners = data["corners"]
-        base = f"corner-{kind}-{spec.predictor}-{spec.recovery}"
-        name = base
-        serial = 1
-        while name in corners and corners[name]["spec"] != spec.line():
-            serial += 1
-            name = f"{base}-{serial}"
-        corners[name] = {
-            "kind": kind,
-            "detail": detail,
-            "workload": spec.workload,
-            "spec": spec.line(),
-            "seed": seed,
-        }
+        """Record one corner under a stable generated name; returns it.
+
+        The whole load → mutate → write cycle runs under the registry's
+        :func:`~repro.util.atomicio.file_lock`: concurrent fuzzers (or
+        cluster shards sharing one trace store) queue on the lock
+        instead of overwriting each other's corners.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(self.path,
-                          json.dumps(data, sort_keys=True, indent=1))
+        with file_lock(self.path):
+            data = self.load()
+            corners = data["corners"]
+            base = f"corner-{kind}-{spec.predictor}-{spec.recovery}"
+            name = base
+            serial = 1
+            while name in corners and corners[name]["spec"] != spec.line():
+                serial += 1
+                name = f"{base}-{serial}"
+            corners[name] = {
+                "kind": kind,
+                "detail": detail,
+                "workload": spec.workload,
+                "spec": spec.line(),
+                "seed": seed,
+            }
+            atomic_write_text(self.path,
+                              json.dumps(data, sort_keys=True, indent=1))
         return name
 
 

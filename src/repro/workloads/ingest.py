@@ -66,7 +66,7 @@ from pathlib import Path
 
 from repro.isa.trace import Trace
 from repro.isa.uop import MicroOp, OpClass
-from repro.util.atomicio import atomic_write_text
+from repro.util.atomicio import atomic_write_text, file_lock
 from repro.util.bits import MASK64
 
 #: Bump whenever parsing, classification or value synthesis changes the
@@ -649,7 +649,13 @@ def ingest_text(text: str, source: str, store, seed: int | None = None,
         }
         path = _registry_path(store, name)
         path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(path, json.dumps(entry, sort_keys=True, indent=1))
+        # Sidecars are one-file-per-name, but concurrent shards sharing a
+        # trace store can ingest the same log at once: the lock makes the
+        # write-then-rename a critical section, so readers racing a
+        # re-ingest always see exactly one complete sidecar.
+        with file_lock(path):
+            atomic_write_text(path,
+                              json.dumps(entry, sort_keys=True, indent=1))
         report.stored = store.contains(name, len(insns), effective_seed)
     return trace, report
 

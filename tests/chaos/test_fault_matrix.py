@@ -25,6 +25,7 @@ import asyncio
 import os
 import socket as socket_module
 import threading
+import time
 
 import pytest
 
@@ -347,3 +348,106 @@ class TestChaosIntrospection:
             with ServiceClient(d.service.socket_path) as client:
                 with pytest.raises(ServiceError, match="disabled"):
                     client.chaos()
+
+
+class TcpShardDaemon(Daemon):
+    """A :class:`Daemon` on the TCP transport (a cluster shard)."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("listen", "127.0.0.1:0")
+        super().__init__(None, **kwargs)
+
+    def __enter__(self):
+        self.thread.start()
+        while self.service.listen_address is None:
+            if self.error is not None:
+                raise self.error
+            threading.Event().wait(0.02)
+        wait_for_service(self.service.listen_address, timeout=60,
+                         token=self.service.token)
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            with ServiceClient(self.service.listen_address, timeout=10.0,
+                               token=self.service.token) as client:
+                client.shutdown()
+        except ServiceError:
+            pass
+        self.thread.join(timeout=60)
+        assert not self.thread.is_alive(), "shard failed to shut down"
+
+
+class TestClusterFaults:
+    """Shard-level fault sites: peer federation and router routing.
+
+    Same bar as the rest of the matrix: every survivable cluster fault
+    — an unreachable federation peer, a *hung* federation peer, a
+    misrouted or dropped routing decision — must end in results
+    bit-identical to the fault-free run, with the failure visible in
+    the metrics surface rather than in the answers.
+    """
+
+    def test_peer_lookup_failure_fails_open(self, expected):
+        with TcpShardDaemon(workers=1) as upstream:
+            with TcpShardDaemon(
+                    workers=1,
+                    peers=[upstream.service.listen_address]) as shard:
+                faults.install_plan("peer.lookup:fail@every=1", seed=0)
+                with ServiceClient(shard.service.listen_address) as client:
+                    response = client.submit(JOBS)
+                    metrics = client.metrics()
+        assert _results(response) == expected
+        assert response["summary"]["peer_hits"] == 0
+        assert metrics["peers"]["failures"] == 1
+
+    def test_hung_peer_is_abandoned_within_the_deadline(self, expected):
+        with TcpShardDaemon(workers=1) as upstream:
+            with TcpShardDaemon(
+                    workers=1,
+                    peers=[upstream.service.listen_address]) as shard:
+                faults.install_plan("peer.lookup:stall:30@1", seed=0)
+                with ServiceClient(shard.service.listen_address) as client:
+                    start = time.monotonic()
+                    response = client.submit(JOBS)
+                    stalled_for = time.monotonic() - start
+                    metrics = client.metrics()
+        assert _results(response) == expected
+        assert metrics["peers"]["failures"] == 1
+        # The submit absorbed the peer deadline (a few seconds), not the
+        # injected 30-second stall.
+        assert stalled_for < 25.0
+
+    def test_federation_survives_a_sigkilled_peer(self, expected):
+        # An upstream shard that vanishes *between* requests: the first
+        # submit federates from it, the second finds it dead and falls
+        # back to local execution — bit-identically both times.
+        upstream = TcpShardDaemon(workers=1).__enter__()
+        address = upstream.service.listen_address
+        with ServiceClient(address) as client:
+            client.submit(JOBS[:3])
+        with TcpShardDaemon(workers=1, peers=[address]) as shard:
+            with ServiceClient(shard.service.listen_address) as client:
+                first = client.submit(JOBS[:3])
+                upstream.__exit__()  # clean stop: the peer is simply gone
+                second = client.submit(JOBS[3:])
+                metrics = client.metrics()
+        assert _results(first) == expected[:3]
+        assert _results(second) == expected[3:]
+        assert first["summary"]["peer_hits"] == 3
+        assert metrics["peers"]["failures"] >= 1
+
+    def test_routing_faults_keep_results_bit_identical(self, expected):
+        from repro.engine.cluster import ShardRouter
+
+        with TcpShardDaemon(workers=1) as a, TcpShardDaemon(workers=1) as b:
+            router = ShardRouter([a.service.listen_address,
+                                  b.service.listen_address])
+            faults.install_plan(
+                "cluster.route:misroute@2;cluster.route:drop@5", seed=0)
+            results = router.run_jobs(JOBS)
+            router.close()
+        assert [r.to_dict() for r in results] == expected
+        assert router.stats["misrouted_jobs"] == 1
+        assert router.stats["failovers"] == 1
+        assert len(router.alive_shards()) == 1

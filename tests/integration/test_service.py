@@ -29,6 +29,7 @@ from repro.engine.cache import ResultCache
 from repro.engine.client import ServiceClient, wait_for_service
 from repro.engine.executors import SerialExecutor
 from repro.engine.job import SimJob
+from repro.engine.service import PROTOCOL_VERSION
 from repro.pipeline.result import SimResult
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -154,7 +155,7 @@ class TestRoundTrip:
             server = conn.ping()
             status = conn.status()
         assert server["workers"] == 2
-        assert server["protocol"] == 1
+        assert server["protocol"] == PROTOCOL_VERSION
         workers = status["queue"]["workers"]
         assert len(workers) == 2
         assert all(w["alive"] for w in workers)
