@@ -1,17 +1,21 @@
 """Where benchmark reports land, and the provenance they carry.
 
-Emitters never rewrite the committed ``BENCH_*.json`` reports in place:
+Emitters never write the committed ``BENCH_*.json`` reports at all:
 every run writes into the scratch directory named by ``REPRO_BENCH_DIR``
 (default ``bench_out/`` at the repository root, gitignored).  The
-checked-in reports at the repo root change only through an explicit
-promote step — rerun the emitter with ``REPRO_BENCH_PROMOTE=1`` — so a
-casual ``pytest benchmarks/`` can never silently drift a committed
-number while the regression gates keep reading the committed baseline.
+checked-in reports at the repo root change only through the guarded
+promote step — ``REPRO_BENCH_PROMOTE=1 repro bench promote`` — which
+validates the report's provenance (a real repeat count, a recorded load
+average, a machine that was not saturated) before copying atomically.
+A casual ``pytest benchmarks/`` can therefore never silently drift a
+committed number while the regression gates keep reading the committed
+baseline.
 
-Every report also carries a ``run`` block (load average, repeat count,
+Every report carries a ``run`` block (load average, repeat count,
 simulation-path mode) so a promoted number can be audited later: a
 measurement taken on a loaded machine, or with the fast paths disabled,
-is visible as such in the report itself.
+is visible as such in the report itself — and it is exactly what the
+promote guard in :mod:`repro.bench` checks.
 """
 
 import os
@@ -23,20 +27,17 @@ from repro.pipeline.fastsim import fast_kernel_enabled, fast_sim_enabled
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: Scratch directory for benchmark reports (created on demand).
+#: Shared with :mod:`repro.bench`, which promotes out of it.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
-
-#: Set to ``1`` to write the committed repo-root report instead.
-PROMOTE_ENV = "REPRO_BENCH_PROMOTE"
 
 
 def bench_output_path(name: str) -> Path:
     """Resolve where report *name* (e.g. ``BENCH_core.json``) is written.
 
-    Default: ``$REPRO_BENCH_DIR/name`` (scratch, gitignored).  With
-    ``REPRO_BENCH_PROMOTE=1``: the committed copy at the repo root.
+    Always ``$REPRO_BENCH_DIR/name`` (scratch, gitignored) — promotion
+    into the committed baseline is ``repro bench promote``'s job, never
+    the emitter's.
     """
-    if os.environ.get(PROMOTE_ENV) == "1":
-        return REPO_ROOT / name
     out = Path(os.environ.get(BENCH_DIR_ENV) or REPO_ROOT / "bench_out")
     out.mkdir(parents=True, exist_ok=True)
     return out / name
@@ -52,7 +53,12 @@ def simulation_mode() -> str:
 
 
 def run_metadata(rounds: int) -> dict:
-    """Provenance block embedded in every benchmark report."""
+    """Provenance block embedded in every benchmark report.
+
+    ``promoted`` is stamped ``False`` at emit time;
+    :func:`repro.bench.promote` flips it when (and only when) the report
+    passes the guard into the committed baseline.
+    """
     try:
         load_1m = round(os.getloadavg()[0], 2)
     except (OSError, AttributeError):  # pragma: no cover - no getloadavg
@@ -62,5 +68,5 @@ def run_metadata(rounds: int) -> dict:
         "load_avg_1m": load_1m,
         "cpu_count": os.cpu_count(),
         "simulation_mode": simulation_mode(),
-        "promoted": os.environ.get(PROMOTE_ENV) == "1",
+        "promoted": False,
     }

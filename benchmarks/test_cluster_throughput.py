@@ -18,7 +18,7 @@ fan-out overhead.
 
 Wall-clock lands in ``BENCH_cluster.json`` in the scratch bench
 directory (``$REPRO_BENCH_DIR``, default ``bench_out/``; the committed
-copy only changes under ``REPRO_BENCH_PROMOTE=1`` — see
+copy only changes through ``repro bench promote`` — see
 :mod:`bench_io`).  Timing is *reported*, not gated — shared CI runners
 are far too noisy for fleet-level wall-clock floors, and with fewer
 cores than total workers the 2-shard row measures distribution

@@ -14,7 +14,7 @@ modes:
 
 Wall-clock per mode is written to ``BENCH_grid.json`` in the scratch
 bench directory (``$REPRO_BENCH_DIR``, default ``bench_out/``; the
-committed repo-root copy only changes under ``REPRO_BENCH_PROMOTE=1`` —
+committed repo-root copy only changes through ``repro bench promote`` —
 see :mod:`bench_io`) together with the speedups versus the
 same-worker-count legacy mode.  Timing numbers are *reported*, not gated (shared CI runners are
 too noisy for grid-level wall-clock floors, and with fewer cores than
@@ -99,7 +99,7 @@ def emit_bench_grid(store_root: Path,
     """Measure every (workers × mode) cell and write BENCH_grid.json.
 
     Writes to the scratch bench directory by default (committed copy
-    only under ``REPRO_BENCH_PROMOTE=1``).  Returns ``(report,
+    only through ``repro bench promote``).  Returns ``(report,
     result-dict-lists per cell)`` so the caller can assert cross-mode
     bit-identity.
     """

@@ -4,7 +4,7 @@
 single-job simulation throughput (µops/s) on fixed slices — including the
 profiled ``gcc/vtage`` 48k-µop job — writes ``BENCH_core.json`` into the
 scratch directory (``$REPRO_BENCH_DIR``, default ``bench_out/``;
-promote with ``REPRO_BENCH_PROMOTE=1`` — see :mod:`bench_io`), and fails
+promote with ``repro bench promote`` — see :mod:`bench_io`), and fails
 on a >30% regression against the committed
 ``benchmarks/bench_baseline.json``.  It needs only pytest (no
 pytest-benchmark), so CI's perf-smoke job can run it standalone:
@@ -69,8 +69,8 @@ def measure_uops_per_s(workload: str, predictor_name: str, n_uops: int,
 def emit_bench_core(path: Path | None = None) -> dict:
     """Measure every entry and write the BENCH_core.json report.
 
-    Writes to the scratch bench directory by default; the committed
-    repo-root copy is only touched under ``REPRO_BENCH_PROMOTE=1``.
+    Writes to the scratch bench directory; the committed repo-root
+    copy only changes through ``repro bench promote``.
     """
     if path is None:
         path = bench_io.bench_output_path("BENCH_core.json")

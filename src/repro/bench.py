@@ -1,0 +1,150 @@
+"""Guarded promotion of benchmark reports into the committed baseline.
+
+The benchmark emitters (``pytest benchmarks/``) quarantine every report
+in the gitignored scratch directory (``bench_out/`` by default — see
+``benchmarks/bench_io.py``).  The committed ``BENCH_*.json`` files at
+the repository root are the regression baseline the perf gates read, and
+history shows they drift exactly one way: someone hand-edits or
+casually overwrites them.  ``repro bench promote`` is the only supported
+path from scratch to committed, and it refuses unless
+
+* ``REPRO_BENCH_PROMOTE=1`` is set — promotion is always a deliberate,
+  explicit act, never a side effect of running something else; and
+* the quarantined report carries its provenance ``run`` block with a
+  real repeat count (``rounds >= 1``) and a recorded 1-minute load
+  average — an unattributable number cannot become the baseline; and
+* the recorded load average does not show the measurement was taken on
+  a saturated machine (above :data:`LOAD_FACTOR` x the CPU count), in
+  which case the number is noise and promoting it would poison every
+  future regression comparison.
+
+Promotion is an atomic copy (write-temp + rename): a crash mid-promote
+can never leave a half-written committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: The promotion consent flag (shared with ``benchmarks/bench_io.py``).
+PROMOTE_ENV = "REPRO_BENCH_PROMOTE"
+
+#: Where quarantined reports live (shared with ``benchmarks/bench_io.py``).
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: Committed reports match this pattern at the repository root.
+BENCH_GLOB = "BENCH_*.json"
+
+#: A report whose recorded 1-minute load average exceeds
+#: ``LOAD_FACTOR * cpu_count`` was measured on a saturated machine and
+#: is refused (override the machine check with ``--allow-loaded``).
+LOAD_FACTOR = 1.5
+
+
+class PromoteError(Exception):
+    """A report failed the promotion guard; the message says why."""
+
+
+def repo_root() -> Path:
+    """The repository root (where committed ``BENCH_*.json`` live)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def bench_scratch_dir(explicit: str | os.PathLike | None = None) -> Path:
+    """The quarantine directory promote reads from."""
+    if explicit:
+        return Path(explicit)
+    raw = os.environ.get(BENCH_DIR_ENV, "").strip()
+    return Path(raw) if raw else repo_root() / "bench_out"
+
+
+def validate_report(payload: dict, *,
+                    allow_loaded: bool = False) -> list[str]:
+    """Why *payload* may not be promoted; empty means it may.
+
+    Checks the provenance contract: a ``run`` block with an honest
+    repeat count and a recorded load average, taken on a machine that
+    was not saturated at measurement time.
+    """
+    problems: list[str] = []
+    run = payload.get("run")
+    if not isinstance(run, dict):
+        return ["report carries no 'run' provenance block — re-run the "
+                "emitter (pytest benchmarks/), which records one"]
+    rounds = run.get("rounds")
+    if not isinstance(rounds, int) or rounds < 1:
+        problems.append(f"provenance 'rounds' is {rounds!r}; a promoted "
+                        "number needs at least one recorded round")
+    if "load_avg_1m" not in run:
+        problems.append("provenance records no 'load_avg_1m' — an "
+                        "unattributable measurement cannot become the "
+                        "baseline")
+    elif not allow_loaded:
+        load = run.get("load_avg_1m")
+        cpus = run.get("cpu_count") or os.cpu_count() or 1
+        if isinstance(load, (int, float)) and load > LOAD_FACTOR * cpus:
+            problems.append(
+                f"measured under load {load:g} on {cpus} CPU(s) "
+                f"(> {LOAD_FACTOR:g}x): the number is noise; re-measure "
+                "on an idle machine or pass --allow-loaded")
+    return problems
+
+
+def promote(names: list[str] | None = None, *,
+            source_dir: str | os.PathLike | None = None,
+            dest_dir: str | os.PathLike | None = None,
+            allow_loaded: bool = False,
+            env: dict | None = None) -> list[str]:
+    """Promote quarantined reports into the committed baseline.
+
+    *names* selects reports (default: every ``BENCH_*.json`` in the
+    scratch directory).  Returns the promoted filenames.  Raises
+    :class:`PromoteError` when consent (``REPRO_BENCH_PROMOTE=1``) is
+    missing or any selected report fails :func:`validate_report` —
+    all-or-nothing, so a partial promote can never mix generations.
+    """
+    environ = env if env is not None else os.environ
+    if environ.get(PROMOTE_ENV) != "1":
+        raise PromoteError(
+            f"refusing to modify the committed baseline: set "
+            f"{PROMOTE_ENV}=1 to confirm promotion (committed BENCH_*.json "
+            "change only through this explicit step)")
+    source = bench_scratch_dir(source_dir)
+    dest = Path(dest_dir) if dest_dir else repo_root()
+    if names:
+        paths = [source / name for name in names]
+        missing = [str(p) for p in paths if not p.exists()]
+        if missing:
+            raise PromoteError(
+                "no quarantined report at: " + ", ".join(missing) +
+                " (run the emitter first: pytest benchmarks/)")
+    else:
+        paths = sorted(source.glob(BENCH_GLOB))
+        if not paths:
+            raise PromoteError(
+                f"nothing to promote: no {BENCH_GLOB} under {source} "
+                "(run the emitter first: pytest benchmarks/)")
+    # Validate everything before touching anything.
+    payloads: dict[Path, dict] = {}
+    for path in paths:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise PromoteError(f"unreadable report {path}: {exc}") from None
+        problems = validate_report(payload, allow_loaded=allow_loaded)
+        if problems:
+            raise PromoteError(
+                f"{path.name} fails the promotion guard:\n  - " +
+                "\n  - ".join(problems))
+        payloads[path] = payload
+    promoted: list[str] = []
+    for path, payload in payloads.items():
+        payload.setdefault("run", {})["promoted"] = True
+        target = dest / path.name
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        tmp.replace(target)
+        promoted.append(path.name)
+    return promoted

@@ -73,7 +73,16 @@ from repro.engine.executors import JOBS_ENV
 from repro.engine.faults import FAULTS_ENV, FaultPlan, FaultSpecError
 from repro.engine.job import SimJob
 from repro.engine.queue import JOB_TIMEOUT_ENV, QUEUE_BOUND_ENV
-from repro.engine.service import SOCKET_ENV, TOKEN_ENV, run_service
+from repro.engine.service import (
+    DEFAULT_HEARTBEAT,
+    DEFAULT_WARM_PUSH_BUDGET,
+    HEARTBEAT_ENV,
+    JOURNAL_DIR_ENV,
+    SOCKET_ENV,
+    TOKEN_ENV,
+    WARM_PUSH_BUDGET_ENV,
+    run_service,
+)
 from repro.pipeline.fastsim import fallback_stats, kernel_mode
 from repro.pipeline.result import SimResult
 from repro.experiments import figures, tables
@@ -643,7 +652,12 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             listen=args.listen,
             token=args.token,
             peers=args.peer or [],
+            journal_dir=args.journal_dir,
+            heartbeat_interval=args.heartbeat_interval,
+            warm_push_budget=args.warm_push_budget,
         )
+    if args.action == "soak":
+        return _cmd_cluster_soak(args)
     try:
         router = ShardRouter(_parse_shards(args.shards), token=args.token)
     except ServiceError as exc:
@@ -679,6 +693,43 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_soak(args: argparse.Namespace) -> int:
+    """Run the self-healing soak harness (``repro cluster soak``)."""
+    import json as _json
+    import tempfile
+
+    from repro.engine.soak import SoakConfig, run_soak
+
+    config = SoakConfig(shards=args.shards, clients=args.clients,
+                        batches_per_client=args.batches,
+                        seed=args.seed, deadline_s=args.duration,
+                        heartbeat_interval_s=args.heartbeat_interval)
+    log = (lambda line: print(line, file=sys.stderr, flush=True)) \
+        if not args.quiet else None
+    if args.journal_dir:
+        report = run_soak(config, args.journal_dir, log=log)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-soak-") as scratch:
+            report = run_soak(config, scratch, log=log)
+    print(_json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    return 0 if report.passed() else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench promote``: guarded baseline promotion."""
+    from repro.bench import PromoteError, promote
+
+    try:
+        promoted = promote(args.names or None, source_dir=args.source,
+                           allow_loaded=args.allow_loaded)
+    except PromoteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for name in promoted:
+        print(f"promoted {name}")
+    return 0
+
+
 def _print_cluster_status(status: dict) -> int:
     """Render :meth:`ShardRouter.status` (exit 1 if any shard is out)."""
     ring = status["ring"]
@@ -688,7 +739,12 @@ def _print_cluster_status(status: dict) -> int:
     for row in status["shards"]:
         address = row["address"]
         if row["down"]:
-            print(f"shard {address}: DOWN — {row.get('reason', 'marked down')}")
+            note = f"shard {address}: DOWN — {row.get('reason', 'marked down')}"
+            if "next_probe_in_s" in row:
+                note += (f" (probation: {row.get('probe_failures', 0)} "
+                         f"failed probe(s), next in "
+                         f"{row['next_probe_in_s']:g}s)")
+            print(note)
             impaired = True
             continue
         if "metrics" not in row:
@@ -711,6 +767,20 @@ def _print_cluster_status(status: dict) -> int:
         print(f"  peers: {peers['configured']} configured — "
               f"{peers['hits']} hit(s), {peers['misses']} miss(es), "
               f"{peers['failures']} failure(s)")
+        membership = metrics.get("membership")
+        if membership is not None:
+            gossip = membership["gossip"]
+            print(f"  membership: epoch {membership['epoch']}, "
+                  f"beat {membership['beat']}, "
+                  f"{len(membership['alive'])}/{membership['size']} "
+                  f"alive in view; gossip {gossip['sent']} sent / "
+                  f"{gossip['merged']} merged / "
+                  f"{gossip['failures']} failure(s)")
+        warm = metrics.get("warm")
+        if warm is not None and (warm["pushed"] or warm["seeded"]):
+            print(f"  warm: {warm['pushed']} pushed, "
+                  f"{warm['seeded']} seeded, "
+                  f"{warm['push_failures']} failure(s)")
         if metrics["faults"]["active"]:
             print(f"  faults: plan active, "
                   f"{metrics['faults']['fired']} rule(s) fired")
@@ -718,7 +788,9 @@ def _print_cluster_status(status: dict) -> int:
     print(f"router: {router['routed_jobs']} routed, "
           f"{router['misrouted_jobs']} misrouted, "
           f"{router['failovers']} failover(s), "
-          f"{router['rerouted_jobs']} re-routed")
+          f"{router['rerouted_jobs']} re-routed, "
+          f"{router.get('probes', 0)} probe(s), "
+          f"{router.get('readmissions', 0)} re-admission(s)")
     return 1 if impaired else 0
 
 
@@ -966,7 +1038,59 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_serve_p.add_argument("--chaos", action="store_true",
                                  help="serve the 'chaos' op and export "
                                       f"the ${FAULTS_ENV} plan to workers")
+    cluster_serve_p.add_argument("--journal-dir", default=None,
+                                 metavar="DIR",
+                                 help="shared cluster journal directory: "
+                                      "this shard journals to "
+                                      "DIR/<address>.journal and replays "
+                                      "dead members' journals on failover "
+                                      f"(default: ${JOURNAL_DIR_ENV})")
+    cluster_serve_p.add_argument("--heartbeat-interval", type=float,
+                                 default=None, metavar="SECONDS",
+                                 help="gossip heartbeat cadence; 0 "
+                                      "disables proactive gossip "
+                                      f"(default: ${HEARTBEAT_ENV} or "
+                                      f"{DEFAULT_HEARTBEAT:g})")
+    cluster_serve_p.add_argument("--warm-push-budget", type=int,
+                                 default=None, metavar="BYTES",
+                                 help="bytes of completed results pushed "
+                                      "to ring successors per cycle; 0 "
+                                      "disables warming (default: "
+                                      f"${WARM_PUSH_BUDGET_ENV} or "
+                                      f"{DEFAULT_WARM_PUSH_BUDGET})")
     cluster_serve_p.set_defaults(fn=cmd_cluster)
+
+    cluster_soak_p = cluster_sub.add_parser(
+        "soak",
+        help="run the self-healing soak: shard fleet + seeded chaos",
+        description="Spawn a fleet of shard subprocesses sharing one "
+                    "journal directory, drive them with concurrent "
+                    "router clients, and kill/stall/revive shards on a "
+                    "seeded schedule.  Exits 0 only if no batch was "
+                    "lost and every result matched a serial in-process "
+                    "oracle bit for bit.  Prints a JSON report.")
+    cluster_soak_p.add_argument("--shards", type=int, default=3,
+                                help="shard subprocesses to spawn")
+    cluster_soak_p.add_argument("--clients", type=int, default=8,
+                                help="concurrent client threads")
+    cluster_soak_p.add_argument("--batches", type=int, default=6,
+                                help="batches per client")
+    cluster_soak_p.add_argument("--duration", type=float, default=120.0,
+                                metavar="SECONDS",
+                                help="hard deadline on the whole run")
+    cluster_soak_p.add_argument("--seed", type=int, default=1337,
+                                help="chaos schedule seed")
+    cluster_soak_p.add_argument("--heartbeat-interval", type=float,
+                                default=0.25, metavar="SECONDS",
+                                help="gossip cadence handed to the fleet")
+    cluster_soak_p.add_argument("--journal-dir", default=None,
+                                metavar="DIR",
+                                help="shared journal directory (default: "
+                                     "a temporary directory)")
+    cluster_soak_p.add_argument("--quiet", action="store_true",
+                                help="suppress progress lines (the JSON "
+                                     "report still prints)")
+    cluster_soak_p.set_defaults(fn=cmd_cluster)
 
     def _cluster_client_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--shards", default=None, metavar="ADDR,ADDR",
@@ -1219,6 +1343,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_p.add_argument("action", choices=("show", "clear"))
     cache_p.set_defaults(fn=cmd_cache)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="manage committed benchmark baselines",
+        description="The committed BENCH_*.json reports are the "
+                    "regression baseline; emitters quarantine fresh "
+                    "numbers in bench_out/.  'bench promote' is the only "
+                    "supported path from quarantine to committed, and it "
+                    "refuses without REPRO_BENCH_PROMOTE=1 and honest "
+                    "provenance (rounds, load average) in the report.")
+    bench_sub = bench_p.add_subparsers(dest="action", required=True)
+
+    bench_promote_p = bench_sub.add_parser(
+        "promote",
+        help="copy validated bench_out/ reports over the committed ones")
+    bench_promote_p.add_argument("names", nargs="*",
+                                 metavar="BENCH_name.json",
+                                 help="reports to promote (default: every "
+                                      "BENCH_*.json in the scratch dir)")
+    bench_promote_p.add_argument("--source", default=None, metavar="DIR",
+                                 help="quarantine directory to read "
+                                      "(default: $REPRO_BENCH_DIR or "
+                                      "bench_out/)")
+    bench_promote_p.add_argument("--allow-loaded", action="store_true",
+                                 help="promote even if the report was "
+                                      "measured on a loaded machine")
+    bench_promote_p.set_defaults(fn=cmd_bench)
 
     list_p = sub.add_parser("list", help="list predictors and workloads")
     list_p.set_defaults(fn=cmd_list)

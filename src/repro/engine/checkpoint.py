@@ -8,7 +8,9 @@ completed job of one campaign:
   over the campaign's unique job content keys, so a journal can never be
   replayed against a different sweep by accident);
 * every further line — ``{"key": <job content key>, "job": {...},
-  "result": {...}}`` for one completed simulation.
+  "result": {...}}`` for one completed simulation, or a ``{"meta":
+  {...}}`` annotation record (the service journal uses these to persist
+  its cluster identity: ring address and membership epoch).
 
 Each record is written with ``flush`` + ``fsync`` before the campaign
 moves on, so after a kill (``SIGKILL`` included) the journal holds every
@@ -106,6 +108,10 @@ class CampaignJournal:
         self.path = Path(path)
         self.header: JournalHeader | None = None
         self.entries: dict[str, SimResult] = {}
+        #: Annotation records (``{"meta": {...}}`` lines) in file order —
+        #: the service journal stores its shard address and membership
+        #: epoch here, so a restarted shard resumes with a higher epoch.
+        self.meta: list[dict] = []
         self.corrupt_lines = 0
         #: Byte offset of the end of the last intact line; the safe
         #: truncation point before appending after a crash.
@@ -141,6 +147,9 @@ class CampaignJournal:
                     # Unreadable header: nothing below can be trusted to
                     # belong to any particular campaign.
                     self.corrupt_lines += 1
+                continue
+            if isinstance(payload.get("meta"), dict):
+                self.meta.append(payload["meta"])
                 continue
             try:
                 key = payload["key"]
@@ -233,6 +242,7 @@ class CampaignJournal:
             target = self.path.with_name(f"{self.path.name}{suffix}{n}")
         os.replace(self.path, target)
         self.entries.clear()
+        self.meta.clear()
         self.header = None
         self.corrupt_lines = 0
         self._good_end = 0
@@ -270,6 +280,22 @@ class CampaignJournal:
         self._sync()
         self.entries[key] = result
 
+    def record_meta(self, payload: dict) -> None:
+        """Durably append one ``{"meta": {...}}`` annotation record.
+
+        Meta records ride the same fsync-per-line discipline as job
+        records but carry no result — the service journal uses them to
+        persist the shard's ring address and membership epoch.  Loaders
+        that predate meta records counted these lines as corrupt (and
+        skipped them), so old readers degrade instead of breaking.
+        """
+        assert self._fh is not None, "open() the journal before recording"
+        line = json.dumps({"meta": dict(payload)}, sort_keys=True,
+                          separators=(",", ":"))
+        self._fh.write((line + "\n").encode())
+        self._sync()
+        self.meta.append(dict(payload))
+
     def _sync(self) -> None:
         self._fh.flush()
         os.fsync(self._fh.fileno())
@@ -284,3 +310,65 @@ class CampaignJournal:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def read_journal_snapshot(path: str | os.PathLike) -> dict:
+    """Tolerantly read another process's journal without locking it.
+
+    This is the cluster failover-replay primitive: a surviving shard
+    reads a dead sibling's service journal to seed the completed work it
+    is inheriting, so it must never take the writer flock (the owner may
+    be mid-revival) and must treat *any* damage as fewer entries, never
+    an error.  Returns ``{"header", "meta", "entries", "records",
+    "corrupt"}`` where ``entries`` maps content key to
+    :class:`~repro.pipeline.result.SimResult`, ``records`` counts job
+    record lines (duplicates included — the re-simulation accounting the
+    soak harness sums), and ``meta`` is the annotation list in file
+    order.
+
+    The ``journal.replay`` fault site fires here: its ``torn`` action
+    halves the byte stream *in memory* before parsing — the on-disk file
+    is never touched (its owner may come back for it), but the reader
+    exercises exactly the torn-tail shape a crash leaves behind.
+    """
+    snapshot: dict = {"header": None, "meta": [], "entries": {},
+                      "records": 0, "corrupt": 0}
+    try:
+        data = Path(path).read_bytes()
+    except OSError:
+        snapshot["corrupt"] += 1
+        return snapshot
+    rule = faults.fire("journal.replay")
+    if rule is not None and rule.action == "torn":
+        data = data[:max(1, len(data) // 2)]
+    if data and not data.endswith(b"\n"):
+        torn = data.rfind(b"\n") + 1
+        snapshot["corrupt"] += 1
+        data = data[:torn]
+    for raw in data.splitlines():
+        if not raw.strip():
+            continue
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("journal line is not an object")
+        except ValueError:
+            snapshot["corrupt"] += 1
+            continue
+        if snapshot["header"] is None:
+            snapshot["header"] = JournalHeader.from_payload(payload)
+            if snapshot["header"] is None:
+                snapshot["corrupt"] += 1
+            continue
+        if isinstance(payload.get("meta"), dict):
+            snapshot["meta"].append(payload["meta"])
+            continue
+        try:
+            key = payload["key"]
+            result = SimResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            snapshot["corrupt"] += 1
+            continue
+        snapshot["records"] += 1
+        snapshot["entries"][key] = result
+    return snapshot

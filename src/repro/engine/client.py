@@ -323,6 +323,30 @@ class ServiceClient:
         """The daemon's flat ops-surface snapshot (``metrics`` op)."""
         return self.request({"op": "metrics"})["metrics"]
 
+    def gossip(self, view: dict | None = None) -> dict:
+        """Exchange membership views with the daemon (``gossip`` op).
+
+        Sends *view* (a :meth:`MembershipView.to_dict
+        <repro.engine.cluster.MembershipView.to_dict>` payload, or
+        nothing to just read) and returns the daemon's response — its
+        merged view plus its own ``(epoch, beat)`` identity.  Routers
+        poll this to converge on the fleet's membership.
+        """
+        payload: dict = {"op": "gossip"}
+        if view is not None:
+            payload["view"] = view
+        return self.request(payload)
+
+    def seed(self, entries: dict) -> int:
+        """Push results into the daemon's cache (``seed`` op).
+
+        *entries* maps content key to ``SimResult.to_dict()`` payloads
+        (the warm-push wire form).  Returns how many the daemon accepted;
+        keys it already holds count as accepted but are not overwritten.
+        """
+        response = self.request({"op": "seed", "entries": dict(entries)})
+        return int(response.get("seeded", 0))
+
     def lookup(self, keys: list[str]) -> dict:
         """Probe the daemon's cache by content key (``lookup`` op).
 

@@ -32,6 +32,17 @@ going — a SIGKILL-ed shard costs its in-flight work one resubmission
 (idempotent by content key) and loses nothing.  An all-shards-down
 cluster raises :class:`~repro.engine.client.ServiceUnavailable`.
 
+Down-marking is **probation, not a death sentence**: each downed shard
+gets a half-open probe on an exponential-backoff schedule (hysteresis —
+a flapping shard earns a longer sentence each relapse), and a probe
+that answers ``ping`` re-admits the shard to routing.  The shards
+themselves gossip an eventually-consistent :class:`MembershipView`
+(monotone ``(epoch, beat)`` versions, epoch persisted in the service
+journal so a restart outranks its own corpse), which
+:meth:`ShardRouter.refresh_membership` merges to discover joins and
+accelerate re-admission probes — so a revived shard re-enters every
+router's ring without anyone restarting anything.
+
 :class:`ClusterExecutor` / :func:`cluster_engine` wrap the router in the
 standard executor/engine shape, which is what ``repro campaign run
 --backend cluster`` and ``repro cluster run`` use; ``repro cluster
@@ -44,7 +55,9 @@ from __future__ import annotations
 import bisect
 import hashlib
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 from repro.engine import faults
 from repro.engine.client import (
@@ -64,6 +77,144 @@ SHARDS_ENV = "REPRO_CLUSTER_SHARDS"
 #: within a few percent of even; cheap enough that ring rebuilds are
 #: trivial (the ring is ``replicas × shards`` 8-byte points).
 DEFAULT_REPLICAS = 64
+
+#: First half-open probe fires this many seconds after a shard drops.
+PROBE_BASE = 0.5
+
+#: Probe backoff ceiling — even a chronic flapper is re-tried this often.
+PROBE_CAP = 30.0
+
+#: Deadline for one half-open ``ping`` probe.  Short: a probe exists to
+#: answer "is it back?" cheaply, not to wait out a wedged shard.
+PROBE_TIMEOUT = 2.0
+
+
+def probe_backoff(failures: int, *, base: float = PROBE_BASE,
+                  cap: float = PROBE_CAP) -> float:
+    """Seconds until the next half-open probe of a downed shard.
+
+    Doubles per consecutive failed probe (and per prior flap — the
+    hysteresis that quarantines an up/down/up shard progressively
+    longer), capped so nothing is ever quarantined forever.  Monotone
+    non-decreasing in *failures*; pinned by the membership property
+    suite.
+    """
+    return min(cap, base * (2 ** max(0, int(failures))))
+
+
+@dataclass(frozen=True)
+class MemberState:
+    """One shard's liveness claim: ``(epoch, beat)``-versioned up/down.
+
+    ``epoch`` counts the shard's incarnations (persisted in its service
+    journal, so a restart always outranks claims about its previous
+    life); ``beat`` counts heartbeats within an incarnation.  Between
+    two claims about the same address the higher ``(epoch, beat)`` wins;
+    on a version tie ``down`` wins — a claim of death at the same
+    version means the reporter saw the heartbeat *fail*.
+    """
+
+    address: str
+    epoch: int = 1
+    beat: int = 0
+    status: str = "up"
+
+    @property
+    def version(self) -> tuple[int, int]:
+        """The claim's logical clock, ``(epoch, beat)``."""
+        return (self.epoch, self.beat)
+
+    def supersedes(self, other: "MemberState | None") -> bool:
+        """Whether this claim replaces *other* under the merge rule."""
+        if other is None:
+            return True
+        if self.version != other.version:
+            return self.version > other.version
+        return self.status == "down" and other.status != "down"
+
+    def to_dict(self) -> dict:
+        """Wire form of the claim (the ``gossip`` op's member rows)."""
+        return {"address": self.address, "epoch": self.epoch,
+                "beat": self.beat, "status": self.status}
+
+    @classmethod
+    def from_dict(cls, raw: object) -> "MemberState | None":
+        """Parse one wire-form claim; ``None`` for anything malformed.
+
+        Gossip crosses trust and version boundaries, so a bad row must
+        cost nothing (it is simply not merged), never an exception.
+        """
+        if not isinstance(raw, dict):
+            return None
+        try:
+            address = str(raw["address"])
+            epoch = int(raw["epoch"])
+            beat = int(raw["beat"])
+            status = str(raw["status"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        if not address or status not in ("up", "down"):
+            return None
+        return cls(address=address, epoch=epoch, beat=beat, status=status)
+
+
+class MembershipView:
+    """An eventually-consistent map of shard address → :class:`MemberState`.
+
+    A state-based CRDT: :meth:`observe` keeps the superseding claim per
+    address (higher ``(epoch, beat)`` wins, ``down`` wins ties), which
+    makes :meth:`merge` commutative, associative and idempotent — any
+    set of routers and shards exchanging views in any order converges
+    to the same map, the property the membership suite pins.
+    """
+
+    def __init__(self, members: dict[str, MemberState] | None = None):
+        self.members: dict[str, MemberState] = dict(members or {})
+
+    def observe(self, state: MemberState) -> bool:
+        """Fold one claim in; True when it superseded what we held."""
+        if state.supersedes(self.members.get(state.address)):
+            self.members[state.address] = state
+            return True
+        return False
+
+    def merge(self, other: "MembershipView | dict | None") -> int:
+        """Fold another view (or its wire form) in; claims superseded."""
+        changed = 0
+        if isinstance(other, MembershipView):
+            states = list(other.members.values())
+        else:
+            rows = other.get("members", ()) if isinstance(other, dict) else ()
+            states = [MemberState.from_dict(raw) for raw in rows] \
+                if isinstance(rows, (list, tuple)) else []
+        for state in states:
+            if state is not None and self.observe(state):
+                changed += 1
+        return changed
+
+    def get(self, address: str) -> MemberState | None:
+        """The current claim about *address*, if any."""
+        return self.members.get(address)
+
+    def alive(self) -> list[str]:
+        """Addresses currently claimed up, sorted for determinism."""
+        return sorted(address for address, state in self.members.items()
+                      if state.status == "up")
+
+    def to_dict(self) -> dict:
+        """Wire form: ``{"members": [claim, ...]}`` in sorted order."""
+        return {"members": [self.members[address].to_dict()
+                            for address in sorted(self.members)]}
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MembershipView) and \
+            self.members == other.members
+
+    def __repr__(self) -> str:
+        return f"MembershipView({self.members!r})"
 
 
 def resolve_shards(explicit: list[str] | None = None) -> list[str]:
@@ -190,22 +341,33 @@ class ShardRouter:
     :meth:`run_jobs` groups a batch by owning shard, submits the groups
     concurrently, and — when a shard exhausts its client's retry budget
     — marks it down and re-routes the stranded jobs along each key's
-    ring preference.  Down-marking is sticky for the router's lifetime:
-    flapping shards would otherwise bounce jobs forever, and a healed
-    shard is one new router (or CLI invocation) away.
+    ring preference.
+
+    Down-marking is **probation**: each downed shard carries a half-open
+    probe timer (:func:`probe_backoff` — exponential in its consecutive
+    probe failures *and* its lifetime flap count, so an oscillating
+    shard is quarantined progressively longer), and :meth:`maybe_probe`
+    — called at every routing round — re-admits any shard whose probe
+    ``ping`` answers.  :meth:`refresh_membership` additionally merges
+    the shards' gossiped :class:`MembershipView`, which discovers joins
+    (new members enter the ring) and fast-tracks probes for members the
+    fleet already sees alive again.
 
     The router is what ``--backend cluster`` campaigns and the
-    integration harness drive; it deliberately has **no server-side
-    twin** — shards do not know the ring exists, which is why a
-    half-upgraded or half-crashed cluster cannot disagree with itself
-    about ownership.
+    integration harness drive.  Routing authority stays client-side —
+    the gossiped view can only *add* candidates and accelerate probes;
+    a shard enters the routing ring through a probe this router ran
+    itself, so stale gossip cannot force traffic onto a corpse.
     """
 
     def __init__(self, shards: list[str] | None = None, *,
                  token: str | None = None,
                  timeout: float | None = None,
                  retry: RetryPolicy | None = None,
-                 replicas: int = DEFAULT_REPLICAS):
+                 replicas: int = DEFAULT_REPLICAS,
+                 probe_base: float = PROBE_BASE,
+                 probe_cap: float = PROBE_CAP,
+                 probe_timeout: float = PROBE_TIMEOUT):
         resolved = resolve_shards(shards)
         if not resolved:
             raise ServiceUnavailable(
@@ -218,13 +380,29 @@ class ShardRouter:
         #: default: the cluster's failover *is* the deep retry, so each
         #: shard only gets enough tries to ride out a worker restart.
         self.retry = retry if retry is not None else RetryPolicy(attempts=3)
+        self.probe_base = probe_base
+        self.probe_cap = probe_cap
+        self.probe_timeout = probe_timeout
+        #: The router's copy of the fleet's gossiped membership view
+        #: (grown by :meth:`refresh_membership`; advisory only — routing
+        #: authority stays with :attr:`ring` minus the probation table).
+        self.view = MembershipView()
         self._clients: dict[str, ServiceClient] = {}
-        self._down: dict[str, str] = {}  # address -> reason
+        #: Probation table: address -> {reason, since, failures,
+        #: next_probe}.  Monotonic-clock timestamps.
+        self._down: dict[str, dict] = {}
+        #: Lifetime flap count per address — survives re-admission, so a
+        #: shard that keeps relapsing starts each sentence longer.
+        self._flaps: dict[str, int] = {}
         self.stats = {
             "routed_jobs": 0,
             "misrouted_jobs": 0,  # cluster.route fault diverted these
             "failovers": 0,       # shards marked down
             "rerouted_jobs": 0,   # jobs re-homed after a shard dropped
+            "probes": 0,          # half-open probes attempted
+            "readmissions": 0,    # downed shards re-admitted to routing
+            "joined_shards": 0,   # shards learned from gossip, not config
+            "gossip_merges": 0,   # membership claims merged from shards
         }
 
     # -- membership ------------------------------------------------------
@@ -238,21 +416,110 @@ class ShardRouter:
         return self._clients[shard]
 
     def mark_down(self, shard: str, reason: str) -> None:
-        """Record a shard as unusable; its keys re-route along the ring."""
+        """Put a shard on probation; its keys re-route along the ring."""
         if shard not in self._down:
-            self._down[shard] = reason
+            flaps = self._flaps.get(shard, 0) + 1
+            self._flaps[shard] = flaps
+            now = time.monotonic()
+            self._down[shard] = {
+                "reason": reason,
+                "since": now,
+                "failures": 0,
+                "next_probe": now + probe_backoff(
+                    flaps - 1, base=self.probe_base, cap=self.probe_cap),
+            }
             self.stats["failovers"] += 1
         client = self._clients.pop(shard, None)
         if client is not None:
             client.close()
 
+    def readmit(self, shard: str) -> None:
+        """Lift a shard's probation: it takes traffic from the next round."""
+        if self._down.pop(shard, None) is not None:
+            self.stats["readmissions"] += 1
+
+    def maybe_probe(self, *, force: bool = False) -> list[str]:
+        """Half-open probe every downed shard whose timer has expired.
+
+        A probe is one fresh short-deadline ``ping`` (never the cached
+        client — its connection died with the shard).  Success re-admits
+        the shard; failure pushes the next probe out by
+        :func:`probe_backoff` of the shard's accumulated failure count.
+        With *force*, timers are ignored — the last-gasp sweep
+        :meth:`run_jobs` runs before declaring the whole cluster down.
+        Returns the addresses re-admitted now.
+        """
+        readmitted: list[str] = []
+        now = time.monotonic()
+        for shard in list(self._down):
+            record = self._down.get(shard)
+            if record is None or (not force and now < record["next_probe"]):
+                continue
+            self.stats["probes"] += 1
+            try:
+                probe = ServiceClient(shard, timeout=self.probe_timeout,
+                                      token=self.token)
+                with probe:
+                    probe.ping()
+            except Exception:  # noqa: BLE001 - any failure = still down
+                record["failures"] += 1
+                record["next_probe"] = time.monotonic() + probe_backoff(
+                    self._flaps.get(shard, 1) - 1 + record["failures"],
+                    base=self.probe_base, cap=self.probe_cap)
+                continue
+            self.readmit(shard)
+            readmitted.append(shard)
+        return readmitted
+
+    def refresh_membership(self) -> MembershipView:
+        """Merge the shards' gossiped membership into the router's view.
+
+        Exchanges views with every shard not on probation (best-effort:
+        an unreachable shard is skipped, not downed — only real traffic
+        downs a shard).  Consequences of the merged view:
+
+        * members the fleet sees **up** that this router never knew join
+          the ring (``joined_shards``);
+        * members on probation that the fleet sees up get their probe
+          timer zeroed, so the next :meth:`maybe_probe` re-checks them
+          immediately instead of waiting out the backoff.
+
+        Gossip never *directly* re-admits or downs anything here — the
+        probe keeps the final say, so a stale or lying view cannot
+        divert traffic onto a corpse.
+        """
+        for shard in self.alive_shards():
+            try:
+                response = self.client(shard).gossip(self.view.to_dict())
+            except Exception:  # noqa: BLE001 - advisory path, fail open
+                continue
+            self.stats["gossip_merges"] += self.view.merge(
+                response.get("view"))
+        for address, state in self.view.members.items():
+            if state.status != "up":
+                continue
+            if address not in self.ring.shards:
+                self.ring.add(address)
+                self.stats["joined_shards"] += 1
+            record = self._down.get(address)
+            if record is not None:
+                record["next_probe"] = 0.0
+        return self.view
+
     @property
     def down(self) -> dict[str, str]:
-        """Shards currently marked down, with the reason each dropped."""
-        return dict(self._down)
+        """Shards currently on probation, with the reason each dropped."""
+        return {shard: record["reason"]
+                for shard, record in self._down.items()}
+
+    @property
+    def probation(self) -> dict[str, dict]:
+        """The full probation table (reason, since, failures, next_probe)."""
+        return {shard: dict(record)
+                for shard, record in self._down.items()}
 
     def alive_shards(self) -> list[str]:
-        """Shard addresses not marked down, in configuration order."""
+        """Shard addresses not on probation, in configuration order."""
         return [s for s in self.ring.shards if s not in self._down]
 
     # -- routing ---------------------------------------------------------
@@ -294,7 +561,8 @@ class ShardRouter:
 
     def _all_down_message(self) -> str:
         reasons = "; ".join(
-            f"{shard}: {reason}" for shard, reason in self._down.items())
+            f"{shard}: {record['reason']}"
+            for shard, record in self._down.items())
         return (f"all {len(self.ring.shards)} cluster shard(s) are down "
                 f"({reasons})")
 
@@ -340,6 +608,10 @@ class ShardRouter:
                 seen.add(key)
                 pending.append(job)
         while pending:
+            # Give healed shards a chance before each round: probes whose
+            # backoff expired run here, so re-admission happens *during*
+            # long batches, not only between CLI invocations.
+            self.maybe_probe()
             groups = self.route(pending)
             with ThreadPoolExecutor(max_workers=len(groups)) as pool:
                 outcomes = {
@@ -363,7 +635,12 @@ class ShardRouter:
                 raise hard_error
             pending = stranded
             if pending and not self.alive_shards():
-                raise ServiceUnavailable(self._all_down_message())
+                # Last gasp before declaring the fleet dead: probe every
+                # probation entry immediately (a stalled-then-resumed
+                # shard answers here).  Only an all-probes-failed cluster
+                # is actually down.
+                if not self.maybe_probe(force=True):
+                    raise ServiceUnavailable(self._all_down_message())
         return [by_key[job.content_key()] for job in jobs]
 
     # -- ops surface -----------------------------------------------------
@@ -377,11 +654,16 @@ class ShardRouter:
         failing the aggregate — a status command that dies when a shard
         does would be useless exactly when it matters.
         """
+        self.maybe_probe()
         rows = []
         for shard in self.ring.shards:
             row: dict = {"address": shard, "down": shard in self._down}
             if shard in self._down:
-                row["reason"] = self._down[shard]
+                record = self._down[shard]
+                row["reason"] = record["reason"]
+                row["probe_failures"] = record["failures"]
+                row["next_probe_in_s"] = round(
+                    max(0.0, record["next_probe"] - time.monotonic()), 3)
             else:
                 try:
                     probe = ServiceClient(shard, timeout=probe_timeout,
@@ -397,6 +679,7 @@ class ShardRouter:
                      "replicas": self.ring.replicas,
                      "alive": len(self.alive_shards())},
             "router": dict(self.stats),
+            "membership": self.view.to_dict(),
         }
 
     def shutdown(self) -> dict[str, bool]:

@@ -64,6 +64,20 @@ many requests.  Requests are ``{"op": <name>, ...}``; responses are
     ``{"keys": [<content key>, ...]}`` — answer from the local cache
     only (:meth:`~repro.engine.cache.ResultCache.peek`; no queueing, no
     peer recursion).  This is the server half of cache federation.
+``gossip``
+    ``{"view": {...}}`` — merge the caller's membership view
+    (:class:`~repro.engine.cluster.MembershipView` wire form) and answer
+    with the daemon's merged view plus its own ``(epoch, beat)``.  TCP
+    shards also *initiate* these rounds among themselves every
+    ``--heartbeat-interval`` seconds: a peer that stops answering is
+    claimed down (same-version ``down`` wins), a revived peer's higher
+    epoch supersedes its own corpse, and routers polling any shard see
+    the converged view — the self-healing membership plane.
+``seed``
+    ``{"entries": {<content key>: <SimResult.to_dict()>, ...}}`` — fold
+    results into the local cache (existing entries win).  The warm-push
+    receiver: shards proactively push completed keys to their ring
+    successor under a byte/ops budget so failover targets are warm.
 ``shutdown``
     Stop the daemon after acknowledging.
 
@@ -78,6 +92,12 @@ Crash safety is inherited from PR 3's journal machinery: every executed
 job is appended (``fsync`` per record) to the service journal, and a
 restarted daemon replays it into the cache, so completed work survives
 daemon restarts as well as worker deaths (the queue requeues those).
+Shards given a shared ``--journal-dir`` extend this across *process
+boundaries*: each shard journals to ``<dir>/<address>.journal`` (with a
+membership meta record persisting its epoch), and when gossip claims a
+member down, the survivors read its journal (read-only, no lock — the
+owner may revive) and seed the keys the ring now assigns to them, so a
+dead shard's completed work is never re-simulated by its inheritors.
 Two daemons can never share a journal or a socket: the journal file is
 ``flock``-ed by its writer, and the daemon holds a lockfile next to its
 socket, so the stale-socket cleanup path cannot race a live daemon.
@@ -91,9 +111,11 @@ import asyncio
 import hmac
 import json
 import os
+import re
 import signal
 import sys
 import time
+from collections import deque
 from pathlib import Path
 
 try:
@@ -103,7 +125,17 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.engine import faults
 from repro.engine.cache import ResultCache, default_cache_dir
-from repro.engine.checkpoint import CampaignJournal, JournalHeader
+from repro.engine.checkpoint import (
+    CampaignJournal,
+    JournalHeader,
+    read_journal_snapshot,
+)
+from repro.engine.cluster import (
+    HashRing,
+    MemberState,
+    MembershipView,
+    normalize_shard,
+)
 from repro.engine.executors import resolve_jobs
 from repro.engine.job import SimJob
 from repro.engine.queue import (
@@ -150,6 +182,101 @@ MAX_TICKETS = 1024
 #: content key, so replay is exact).
 SERVICE_JOURNAL_CAMPAIGN = "__service__"
 SERVICE_JOURNAL_KEY = "service-v1"
+
+#: Environment variable overriding the gossip heartbeat interval
+#: (seconds; ``0`` disables the loop, the ``gossip`` op still answers).
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_INTERVAL"
+
+#: Default heartbeat interval for TCP shards.  One round per second
+#: keeps convergence well under any human-visible failover window while
+#: costing one tiny protocol round per peer.
+DEFAULT_HEARTBEAT = 1.0
+
+#: Environment variable overriding the per-cycle warm-push byte budget
+#: (``0`` disables push-based cache warming).
+WARM_PUSH_BUDGET_ENV = "REPRO_WARM_PUSH_BUDGET"
+
+#: Default warm-push budget: bytes of result payloads pushed to ring
+#: successors per drain cycle.  Results are ~1 KB, so this is ~1000
+#: completions per cycle — far above any realistic completion rate.
+DEFAULT_WARM_PUSH_BUDGET = 1024 * 1024
+
+#: Most entries one warm-push cycle ships (the ops half of the budget).
+WARM_PUSH_MAX_OPS = 256
+
+#: Completion buffer bound: under a stalled successor, oldest warm-push
+#: candidates are dropped first (they are an optimisation, never owed).
+WARM_BUFFER_MAX = 4096
+
+#: Most entries one ``seed`` request may carry.
+MAX_SEED_ENTRIES = 1024
+
+#: Environment variable naming the shared cluster journal directory
+#: (each shard journals to ``<dir>/<address>.journal``).
+JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
+
+
+def resolve_heartbeat_interval(explicit: float | None = None) -> float:
+    """The gossip heartbeat interval: explicit, else env, else default.
+
+    ``0`` (or negative) disables the proactive gossip loop — the shard
+    still answers the ``gossip`` op, it just never initiates rounds.
+    """
+    if explicit is not None:
+        return max(0.0, float(explicit))
+    raw = os.environ.get(HEARTBEAT_ENV, "").strip()
+    if raw:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            return DEFAULT_HEARTBEAT
+    return DEFAULT_HEARTBEAT
+
+
+def resolve_warm_push_budget(explicit: int | None = None) -> int:
+    """The warm-push byte budget: explicit, else env, else default."""
+    if explicit is not None:
+        return max(0, int(explicit))
+    raw = os.environ.get(WARM_PUSH_BUDGET_ENV, "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            return DEFAULT_WARM_PUSH_BUDGET
+    return DEFAULT_WARM_PUSH_BUDGET
+
+
+def journal_slug(address: str) -> str:
+    """The journal filename a shard uses inside a shared ``--journal-dir``.
+
+    Derived from the shard's canonical address so survivors can find a
+    dead member's journal without scanning: filesystem-hostile
+    characters collapse to ``-`` (``tcp://127.0.0.1:7101`` →
+    ``127.0.0.1-7101.journal``).
+    """
+    text = normalize_shard(address)
+    if text.startswith("tcp://"):
+        text = text[len("tcp://"):]
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", text) + ".journal"
+
+
+def parse_wire_result(raw: object) -> "SimResult | None":
+    """Parse a result payload from a peer; ``None`` for junk.
+
+    Warm pushes and federation lookups cross process boundaries, so a
+    malformed entry must cost nothing.  :meth:`SimResult.from_dict`
+    defaults every field, which would let an arbitrary mapping parse
+    into a vacuous result — require the identity fields a real
+    ``to_dict()`` payload always carries before trusting it.
+    """
+    if not isinstance(raw, dict):
+        return None
+    if not {"workload", "n_uops", "cycles"} <= raw.keys():
+        return None
+    try:
+        return SimResult.from_dict(raw)
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def default_socket_path(explicit: str | os.PathLike | None = None) -> Path:
@@ -223,6 +350,9 @@ class SimService:
         listen: str | None = None,
         token: str | None = None,
         peers: list[str] | None = None,
+        journal_dir: str | os.PathLike | None = None,
+        heartbeat_interval: float | None = None,
+        warm_push_budget: int | None = None,
     ):
         self.socket_path = default_socket_path(socket_path)
         #: TCP bind (host, port) when serving a cluster shard; ``None``
@@ -242,8 +372,48 @@ class SimService:
         self.workers = resolve_jobs(workers)
         self.cache = cache if cache is not None else ResultCache(default_cache_dir())
         self.journal_path = Path(journal_path) if journal_path else None
+        #: Shared cluster journal directory.  With no explicit
+        #: ``journal_path``, a TCP shard journals to
+        #: ``<journal_dir>/<address>.journal`` — the layout failover
+        #: replay depends on (survivors derive a dead member's journal
+        #: path from its gossiped address).
+        raw_dir = journal_dir if journal_dir is not None else \
+            os.environ.get(JOURNAL_DIR_ENV, "").strip() or None
+        self.journal_dir = Path(raw_dir) if raw_dir else None
         self.journal: CampaignJournal | None = None
         self.replayed = 0
+        # -- self-healing membership state --------------------------------
+        #: This shard's view of the fleet (grown by gossip rounds and by
+        #: views callers push through the ``gossip`` op).
+        self.membership = MembershipView()
+        #: Incarnation counter: persisted in the journal's membership
+        #: meta record, so a restarted shard's claims supersede every
+        #: claim about its previous life (including its death notice).
+        self.epoch = 1
+        #: Heartbeats sent this incarnation (the minor version digit).
+        self.beat = 0
+        self.heartbeat_interval = resolve_heartbeat_interval(
+            heartbeat_interval)
+        self.gossip_sent = 0
+        self.gossip_merged = 0
+        self.gossip_failures = 0
+        self.gossip_dropped = 0  # injected gossip.heartbeat:drop hits
+        #: Peer journals replayed after a death claim: address -> the
+        #: member version the replay answered.  A member that dies again
+        #: in a *newer* incarnation is replayed again.
+        self._replayed_peers: dict[str, tuple[int, int]] = {}
+        self.peer_journals_replayed = 0
+        self.replay_keys_seeded = 0
+        # -- warm-push state ----------------------------------------------
+        self.warm_push_budget = resolve_warm_push_budget(warm_push_budget)
+        self._warm_buffer: deque[tuple[str, dict]] = deque()
+        self._warm_event: asyncio.Event | None = None
+        self.warm_pushed = 0
+        self.warm_push_failures = 0
+        self.warm_seeded = 0    # entries accepted via the seed op
+        self.warm_dropped = 0   # buffer overflow / no successor to warm
+        self._gossip_task: asyncio.Task | None = None
+        self._warm_task: asyncio.Task | None = None
         self.max_depth = max_depth
         self.job_timeout = job_timeout
         #: Whether the ``chaos`` op is served (``repro serve --chaos``).
@@ -304,7 +474,14 @@ class SimService:
                 pass
 
     async def start(self) -> None:
-        """Open the journal, start the queue, bind the socket."""
+        """Open the journal, start the queue, bind the socket.
+
+        TCP shards bind *first* (without serving) so the kernel-picked
+        port is known before the journal opens — the shared-journal-dir
+        layout names the journal after the bound address — then open the
+        journal, start the queue, and only then start serving, gossiping
+        and warm-pushing.
+        """
         self._stop_event = asyncio.Event()
         self._started_at = time.monotonic()
         if self.listen is None:
@@ -313,6 +490,18 @@ class SimService:
             # exclusive by itself (EADDRINUSE), so shards skip it.
             self._acquire_lock()
         try:
+            if self.listen is not None:
+                host, port = self.listen
+                self._server = await asyncio.start_server(
+                    self._handle, host=host, port=port, limit=MAX_LINE,
+                    start_serving=False,
+                )
+                bound = self._server.sockets[0].getsockname()
+                self.listen_address = f"tcp://{bound[0]}:{bound[1]}"
+                if self.journal_path is None and self.journal_dir is not None:
+                    self.journal_dir.mkdir(parents=True, exist_ok=True)
+                    self.journal_path = self.journal_dir / journal_slug(
+                        self.listen_address)
             if self.journal_path is not None:
                 self.journal = CampaignJournal(self.journal_path)
                 self.journal.open(JournalHeader(
@@ -325,18 +514,39 @@ class SimService:
                 for key, result in self.journal.entries.items():
                     self.cache.seed(key, result)
                     self.replayed += 1
+                if self.listen is not None:
+                    # Epoch = one past every incarnation this journal has
+                    # seen, so this shard's claims (and its revival)
+                    # supersede any claim about its previous life.
+                    self.epoch = 1 + max(
+                        (int(meta.get("epoch", 0))
+                         for meta in self.journal.meta
+                         if meta.get("kind") == "membership"),
+                        default=0)
+                    try:
+                        self.journal.record_meta({
+                            "kind": "membership",
+                            "address": self.listen_address,
+                            "epoch": self.epoch,
+                        })
+                    except OSError:
+                        pass  # degraded journal; the epoch still holds
             self.queue = JobQueue(WorkerPool(self.workers), cache=self.cache,
                                   journal=self.journal,
                                   max_depth=self.max_depth,
                                   job_timeout=self.job_timeout)
             await self.queue.start()
             if self.listen is not None:
-                host, port = self.listen
-                self._server = await asyncio.start_server(
-                    self._handle, host=host, port=port, limit=MAX_LINE,
-                )
-                bound = self._server.sockets[0].getsockname()
-                self.listen_address = f"tcp://{bound[0]}:{bound[1]}"
+                await self._server.start_serving()
+                self.membership.observe(MemberState(
+                    self.listen_address, self.epoch, self.beat, "up"))
+                self._warm_event = asyncio.Event()
+                self.queue.on_complete = self._on_job_complete
+                loop = asyncio.get_running_loop()
+                if self.warm_push_budget > 0:
+                    self._warm_task = loop.create_task(self._warm_loop())
+                if self.heartbeat_interval > 0:
+                    self._gossip_task = loop.create_task(self._gossip_loop())
             else:
                 self.socket_path.parent.mkdir(parents=True, exist_ok=True)
                 if self.socket_path.exists():
@@ -359,12 +569,29 @@ class SimService:
                     self._handle, path=str(self.socket_path), limit=MAX_LINE,
                 )
         except BaseException:
+            if self._server is not None:
+                self._server.close()
+                self._server = None
             await self._teardown_queue_and_journal()
             self._release_lock()
             raise
 
     async def stop(self) -> None:
         """Close the socket, stop the queue, close the journal."""
+        for task in (self._gossip_task, self._warm_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    # A cancel landing exactly as an inner wait_for
+                    # resolves can be swallowed (the task keeps looping),
+                    # so bound the wait: on timeout wait_for cancels the
+                    # task *again*, and the retry lands on an idle await.
+                    await asyncio.wait_for(task, timeout=5.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError,
+                        Exception):  # noqa: BLE001
+                    pass
+        self._gossip_task = None
+        self._warm_task = None
         if self._server is not None:
             self._server.close()
             # Cancel open client connections before wait_closed(): from
@@ -614,6 +841,33 @@ class SimService:
                     "misses": self.peer_misses,
                     "failures": self.peer_failures,
                 },
+                "membership": {
+                    "address": self.describe_address(),
+                    "epoch": self.epoch,
+                    "beat": self.beat,
+                    "size": len(self.membership),
+                    "alive": self.membership.alive(),
+                    "gossip": {
+                        "interval_s": self.heartbeat_interval,
+                        "sent": self.gossip_sent,
+                        "merged": self.gossip_merged,
+                        "failures": self.gossip_failures,
+                        "dropped": self.gossip_dropped,
+                    },
+                },
+                "warm": {
+                    "budget_bytes": self.warm_push_budget,
+                    "pushed": self.warm_pushed,
+                    "push_failures": self.warm_push_failures,
+                    "seeded": self.warm_seeded,
+                    "dropped": self.warm_dropped,
+                    "buffered": len(self._warm_buffer),
+                },
+                "replay": {
+                    "startup_replayed": self.replayed,
+                    "peers_replayed": self.peer_journals_replayed,
+                    "keys_seeded": self.replay_keys_seeded,
+                },
                 "fallbacks": fallback_stats(),
                 "faults": {
                     "active": plan is not None,
@@ -643,6 +897,269 @@ class SimService:
                 found[key] = result.to_dict()
         return {"ok": True, "found": found}
 
+    # -- membership gossip ------------------------------------------------
+
+    def _cluster_ring(self) -> HashRing:
+        """The ring this shard believes in: alive members, else peers.
+
+        Built from the gossiped membership view (always including this
+        shard); before gossip has learned anything the configured peer
+        list stands in, so warm push and replay filtering work even on a
+        gossip-disabled fleet.
+        """
+        members = set(self.membership.alive())
+        if self.listen_address is not None:
+            members.add(self.listen_address)
+        if len(members) < 2:
+            members.update(normalize_shard(peer) for peer in self.peers)
+        return HashRing(sorted(members))
+
+    def _note_member_down(self, address: str) -> None:
+        """Claim *address* down at its current version (down wins ties).
+
+        A member we never heard a claim about is entered at version
+        ``(0, 0)`` — any genuine heartbeat (epoch ≥ 1) supersedes it.
+        """
+        current = self.membership.get(address)
+        if current is None:
+            self.membership.observe(MemberState(address, 0, 0, "down"))
+        elif current.status == "up":
+            self.membership.observe(MemberState(
+                address, current.epoch, current.beat, "down"))
+
+    def _self_refute(self) -> None:
+        """Outrank any merged claim about *this* shard (SWIM refutation).
+
+        A view can carry a death notice or a stale higher beat for our
+        own address (e.g. written while a previous incarnation died).
+        Jump our logical clock past it and re-assert ``up`` — with the
+        journal-persisted epoch this is a no-op belt-and-braces; without
+        a journal it is what lets a restarted shard reclaim its name.
+        """
+        if self.listen_address is None:
+            return
+        me = self.membership.get(self.listen_address)
+        if me is not None and (me.status == "down" or
+                               me.version > (self.epoch, self.beat)):
+            self.epoch = max(self.epoch, me.epoch)
+            self.beat = max(self.beat, me.beat) + 1
+        self.membership.observe(MemberState(
+            self.listen_address, self.epoch, self.beat, "up"))
+
+    def _gossip_targets(self) -> list[str]:
+        """Everyone worth heartbeating: configured peers ∪ known members."""
+        targets = {normalize_shard(peer) for peer in self.peers}
+        targets.update(self.membership.members)
+        targets.discard(self.listen_address)
+        return sorted(targets)
+
+    async def _gossip_round(self) -> None:
+        """One heartbeat round: advance the beat, exchange with everyone.
+
+        Per-target, the ``gossip.heartbeat`` fault site may ``drop`` the
+        heartbeat (the target simply isn't contacted — convergence slows,
+        correctness cannot care) or ``delay`` it (sleep before sending).
+        A target that fails the exchange is claimed down at its current
+        version; the claim spreads on subsequent rounds and any survivor
+        owning its keys replays its journal.
+        """
+        self.beat += 1
+        self._self_refute()
+        for target in self._gossip_targets():
+            rule = faults.fire("gossip.heartbeat")
+            if rule is not None and rule.action == "drop":
+                self.gossip_dropped += 1
+                continue
+            if rule is not None and rule.action == "delay":
+                await asyncio.sleep(rule.arg if rule.arg
+                                    else self.heartbeat_interval)
+            try:
+                response = await self._peer_request(
+                    target, {"op": "gossip",
+                             "view": self.membership.to_dict()})
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - claim the peer down
+                self.gossip_failures += 1
+                self._note_member_down(target)
+                continue
+            self.gossip_sent += 1
+            self.gossip_merged += self.membership.merge(
+                response.get("view"))
+        self._self_refute()
+        await self._replay_down_members()
+
+    async def _gossip_loop(self) -> None:
+        """Background heartbeat: one gossip round per interval."""
+        try:
+            while True:
+                await asyncio.sleep(self.heartbeat_interval)
+                await self._gossip_round()
+        except asyncio.CancelledError:
+            pass
+
+    async def _replay_down_members(self) -> None:
+        """Inherit dead members' journaled work (failover replay).
+
+        For every member currently claimed down whose death we have not
+        yet answered, read its journal from the shared ``--journal-dir``
+        (tolerantly, without locking — the owner may be mid-revival) and
+        seed every entry the ring now assigns to *this* shard.  Ring
+        ownership filtering keeps N-shard fleets from all loading
+        everything; with one survivor the filter passes everything.
+        Strictly fail-open: a missing or damaged journal costs entries,
+        never an error — the unseeded keys simply re-simulate.
+        """
+        if self.journal_dir is None or self.listen_address is None:
+            return
+        for address, state in list(self.membership.members.items()):
+            if state.status != "down" or address == self.listen_address:
+                continue
+            answered = self._replayed_peers.get(address)
+            if answered is not None and answered >= state.version:
+                continue
+            # Mark before the await: concurrent gossip ops must not
+            # replay the same death twice.
+            self._replayed_peers[address] = state.version
+            path = self.journal_dir / journal_slug(address)
+            if not path.exists():
+                continue
+            snapshot = await asyncio.get_running_loop().run_in_executor(
+                None, read_journal_snapshot, path)
+            ring = self._cluster_ring()
+            seeded = 0
+            for key, result in snapshot["entries"].items():
+                prefs = ring.preference(key)
+                owner = next((s for s in prefs if s != address), None)
+                if owner == self.listen_address:
+                    self.cache.seed(key, result)
+                    seeded += 1
+            self.peer_journals_replayed += 1
+            self.replay_keys_seeded += seeded
+
+    async def _op_gossip(self, request: dict) -> dict:
+        """Merge a caller's membership view; answer with ours.
+
+        The server half of the gossip exchange — shards call it on each
+        other every heartbeat, routers call it to subscribe to the
+        fleet's eventually-consistent view.  Also triggers failover
+        replay when the merged view newly claims a member down.
+        """
+        view = request.get("view")
+        merged = self.membership.merge(view) if view is not None else 0
+        self.gossip_merged += merged
+        self._self_refute()
+        if merged:
+            await self._replay_down_members()
+        return {
+            "ok": True,
+            "view": self.membership.to_dict(),
+            "epoch": self.epoch,
+            "beat": self.beat,
+            "merged": merged,
+        }
+
+    # -- warm push --------------------------------------------------------
+
+    def _on_job_complete(self, job: SimJob, result) -> None:
+        """Queue completion hook: buffer the result for warm push."""
+        if self.warm_push_budget <= 0 or self._warm_event is None:
+            return
+        self._warm_buffer.append((job.content_key(), result.to_dict()))
+        while len(self._warm_buffer) > WARM_BUFFER_MAX:
+            self._warm_buffer.popleft()
+            self.warm_dropped += 1
+        self._warm_event.set()
+
+    def _warm_successor(self, ring: HashRing, key: str) -> str | None:
+        """Where to warm-push *key*: its failover target (or true owner).
+
+        For a key this shard owns, the next shard in ring preference —
+        exactly where the router re-homes the key if this shard dies.
+        For a key that landed here off-ring (failover, misroute), the
+        true owner.  ``None`` when the fleet has nobody else to warm.
+        """
+        prefs = ring.preference(key)
+        if not prefs or prefs == [self.listen_address]:
+            return None
+        if prefs[0] == self.listen_address:
+            return prefs[1] if len(prefs) > 1 else None
+        return prefs[0]
+
+    async def _warm_loop(self) -> None:
+        """Drain completion buffers to ring successors, under budget."""
+        try:
+            while True:
+                await self._warm_event.wait()
+                self._warm_event.clear()
+                await self._drain_warm_buffer()
+        except asyncio.CancelledError:
+            pass
+
+    async def _drain_warm_buffer(self) -> None:
+        """Push one budgeted cycle of completions to their successors.
+
+        Bounded by :data:`WARM_PUSH_MAX_OPS` entries *and*
+        :attr:`warm_push_budget` payload bytes per cycle; anything still
+        buffered waits for the next completion to re-arm the event.
+        Fail-open per target: an unreachable successor ticks
+        ``warm_push_failures`` and its entries are dropped — warming is
+        an optimisation, the journal/replay path owns durability.
+        """
+        ring = self._cluster_ring()
+        sends: dict[str, dict[str, dict]] = {}
+        ops = 0
+        spent = 0
+        while self._warm_buffer and ops < WARM_PUSH_MAX_OPS and \
+                spent < self.warm_push_budget:
+            key, payload = self._warm_buffer.popleft()
+            target = self._warm_successor(ring, key)
+            if target is None:
+                self.warm_dropped += 1
+                continue
+            sends.setdefault(target, {})[key] = payload
+            ops += 1
+            spent += len(json.dumps(payload, separators=(",", ":")))
+        for target, entries in sends.items():
+            try:
+                await self._peer_request(
+                    target, {"op": "seed", "entries": entries})
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - warming fails open
+                self.warm_push_failures += 1
+                continue
+            self.warm_pushed += len(entries)
+
+    async def _op_seed(self, request: dict) -> dict:
+        """Fold pushed results into the local cache (warm-push receiver).
+
+        Existing cache entries win (:meth:`ResultCache.seed` is
+        ``setdefault``), malformed entries are skipped not fatal, and
+        the request-width bound keeps a confused pusher from shipping
+        unbounded payloads.
+        """
+        entries = request.get("entries")
+        if not isinstance(entries, dict):
+            return {"ok": False,
+                    "error": "seed needs an 'entries' mapping of content "
+                             "key to result payload"}
+        if len(entries) > MAX_SEED_ENTRIES:
+            return {"ok": False,
+                    "error": f"seed carries {len(entries)} entries; the "
+                             f"per-request bound is {MAX_SEED_ENTRIES}"}
+        seeded = 0
+        for key, raw in entries.items():
+            if not isinstance(key, str):
+                continue
+            result = parse_wire_result(raw)
+            if result is None:
+                continue
+            self.cache.seed(key, result)
+            seeded += 1
+        self.warm_seeded += seeded
+        return {"ok": True, "seeded": seeded}
+
     # -- cache federation -------------------------------------------------
 
     async def _peer_request(self, address: str, payload: dict) -> dict:
@@ -665,7 +1182,10 @@ class SimService:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (OSError, asyncio.CancelledError):
+            except OSError:
+                # CancelledError must propagate here: swallowing a cancel
+                # that lands during wait_closed() would leave the gossip
+                # or warm loop alive after stop() asked it to die.
                 pass
         if not line.endswith(b"\n"):
             raise ConnectionResetError("peer closed mid-response")
@@ -718,11 +1238,10 @@ class SimService:
                 self.peer_failures += 1
                 continue
             for key, raw in outcome.items():
-                if key not in missing or not isinstance(raw, dict):
+                if key not in missing:
                     continue
-                try:
-                    result = SimResult.from_dict(raw)
-                except (TypeError, ValueError, KeyError):
+                result = parse_wire_result(raw)
+                if result is None:
                     continue
                 self.cache.seed(key, result)
                 seeded.add(key)
@@ -830,6 +1349,9 @@ def run_service(
     listen: str | None = None,
     token: str | None = None,
     peers: list[str] | None = None,
+    journal_dir: str | os.PathLike | None = None,
+    heartbeat_interval: float | None = None,
+    warm_push_budget: int | None = None,
     install_signal_handlers: bool = True,
     ready_message: bool = True,
 ) -> int:
@@ -845,6 +1367,10 @@ def run_service(
     the transport to TCP (``host:port``; port 0 lets the kernel pick and
     the ready line reports the bound address), *token* arms shared-secret
     auth, and *peers* names sibling shards for cache federation.
+    *journal_dir* points shards at the shared cluster journal directory
+    (enabling failover replay), *heartbeat_interval* tunes the gossip
+    loop (0 disables it) and *warm_push_budget* bounds push-based cache
+    warming in bytes per cycle (0 disables it).
     """
     if chaos:
         # Re-export whatever plan is active so spawn-start workers (which
@@ -853,7 +1379,10 @@ def run_service(
     service = SimService(socket_path, workers=workers, cache=cache,
                          journal_path=journal_path, max_depth=max_depth,
                          job_timeout=job_timeout, chaos=chaos,
-                         listen=listen, token=token, peers=peers)
+                         listen=listen, token=token, peers=peers,
+                         journal_dir=journal_dir,
+                         heartbeat_interval=heartbeat_interval,
+                         warm_push_budget=warm_push_budget)
 
     def _print_ready(svc: SimService) -> None:
         where = svc.cache.directory or "memory-only"
@@ -862,7 +1391,8 @@ def run_service(
             # Machine-readable on purpose: the cluster harness parses
             # "listen=tcp://host:port" to learn a :0 daemon's real port.
             bind = (f"listen={svc.listen_address} auth="
-                    f"{'on' if svc.token else 'off'} peers={len(svc.peers)}")
+                    f"{'on' if svc.token else 'off'} peers={len(svc.peers)} "
+                    f"epoch={svc.epoch}")
         else:
             bind = f"socket={svc.socket_path}"
         print(f"repro service: {bind} "

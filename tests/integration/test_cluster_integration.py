@@ -146,20 +146,24 @@ class TestClusterRoundTrip:
             ServiceClient(cluster[0], token="wrong").ping()
 
     def test_peer_federation_avoids_resimulation(self, cluster):
-        # By round-trip time every result is cached on its owning shard.
+        # By round-trip time every result is cached on its owning shard,
+        # and warm push may already have copied them to the successor.
         # Submitting the full grid directly to shard B (bypassing the
-        # router) must answer the non-resident keys from its peer, not
-        # the worker pool.
+        # router) must answer every non-resident key over the federation
+        # wire — pulled via peer lookup or already push-warmed — and
+        # never re-enter the worker pool.
         with ServiceClient(cluster[1], token=TOKEN) as client:
             executed_before = client.metrics()["queue"]["stats"]["executed"]
             response = client.submit(GRID_A)
             metrics = client.metrics()
         assert response["summary"]["enqueued"] == 0
         assert metrics["queue"]["stats"]["executed"] == executed_before
-        # Peer-seeded keys are answered as ordinary cache hits; peer_hits
-        # says how many of them had to come over the federation wire.
+        # Federation-seeded keys are answered as ordinary cache hits;
+        # peer_hits counts pull-path transfers, warm.seeded counts
+        # entries the push path landed ahead of the request.
         assert response["summary"]["cache_hits"] == len(GRID_A)
-        assert response["summary"]["peer_hits"] > 0
+        assert response["summary"]["peer_hits"] + \
+            metrics["warm"]["seeded"] > 0
         assert metrics["peers"]["hits"] == response["summary"]["peer_hits"]
 
     def test_cluster_status_cli_reports_depth_and_cache(self, cluster):
@@ -236,3 +240,165 @@ class TestClusterFailover:
                 proc_b.wait(timeout=15)
             except Exception:
                 proc_b.kill()
+
+
+_EXPECTED_A: list | None = None
+
+
+def expected_grid_a():
+    """Serial fault-free GRID_A answers, computed once per process."""
+    global _EXPECTED_A
+    if _EXPECTED_A is None:
+        _EXPECTED_A = _local_results(GRID_A)
+    return _EXPECTED_A
+
+
+class TestSelfHealing:
+    """ISSUE acceptance: a -9'd shard restarts, is auto re-admitted with
+    no router restart, and its journaled work is never re-simulated."""
+
+    def _fleet(self, journal_dir):
+        """Two shards sharing a journal dir, gossiping at 0.25 s."""
+        knobs = ("--journal-dir", journal_dir,
+                 "--heartbeat-interval", "0.25")
+        proc_a, addr_a = _spawn_shard(*knobs, shm=False)
+        proc_b, addr_b = _spawn_shard("--peer", addr_a, *knobs, shm=False)
+        return proc_a, addr_a, proc_b, addr_b
+
+    def _stop(self, proc, addr):
+        try:
+            with ServiceClient(addr, timeout=5.0, token=TOKEN) as client:
+                client.shutdown()
+            proc.wait(timeout=15)
+        except Exception:
+            proc.kill()
+
+    def test_killed_shard_restarts_and_is_readmitted_without_router_restart(
+            self, tmp_path):
+        proc_a, addr_a, proc_b, addr_b = self._fleet(tmp_path)
+        revived = None
+        a_dead = False
+        router = ShardRouter([addr_a, addr_b], token=TOKEN,
+                             retry=RetryPolicy(attempts=2, base=0.05),
+                             probe_base=0.2, probe_cap=1.0)
+        try:
+            outcome = {}
+
+            def run():
+                outcome["results"] = router.run_jobs(GRID_A)
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            # Kill once A has journaled at least one completion (so the
+            # revival has something to startup-replay) but is still
+            # mid-grid (more work in flight).
+            with ServiceClient(addr_a, timeout=10.0, token=TOKEN) as probe:
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    stats = probe.metrics()["queue"]
+                    if stats["stats"]["executed"] >= 1:
+                        break
+                    time.sleep(0.02)
+                else:
+                    pytest.fail("shard A never completed a job")
+            proc_a.send_signal(signal.SIGKILL)
+            proc_a.wait(timeout=15)
+            a_dead = True
+            thread.join(timeout=300)
+            assert not thread.is_alive(), "cluster batch hung after kill"
+            assert [r.to_dict() for r in outcome["results"]] == \
+                [r.to_dict() for r in expected_grid_a()]
+            assert addr_a in router.down
+
+            # Revive A on its old port, same journal dir: its epoch meta
+            # makes the new incarnation supersede its own death notice.
+            port = addr_a.rsplit(":", 1)[1]
+            for attempt in range(10):
+                try:
+                    revived = _spawn_shard(
+                        "--listen", f"127.0.0.1:{port}", "--peer", addr_b,
+                        "--journal-dir", tmp_path,
+                        "--heartbeat-interval", "0.25", shm=False)
+                    break
+                except AssertionError:
+                    time.sleep(0.5)
+            assert revived is not None, "could not rebind the old port"
+            assert revived[1] == addr_a
+
+            # The same router object heals: gossip zeroes the probe
+            # timer, the half-open probe re-admits.  No restart, no
+            # manual readmit() call.
+            deadline = time.monotonic() + 60
+            while addr_a in router.down and time.monotonic() < deadline:
+                router.refresh_membership()
+                router.maybe_probe()
+                time.sleep(0.05)
+            assert addr_a not in router.down, "shard never re-admitted"
+            assert router.stats["readmissions"] >= 1
+            assert router.stats["probes"] >= 1
+
+            rerun = router.run_jobs(GRID_A)
+            assert [r.to_dict() for r in rerun] == \
+                [r.to_dict() for r in expected_grid_a()]
+            with ServiceClient(addr_a, timeout=10.0, token=TOKEN) as client:
+                metrics = client.metrics()
+            # Restarted incarnation: epoch bumped past the first life,
+            # and its startup replay let it answer from cache.
+            assert metrics["membership"]["epoch"] >= 2
+            assert metrics["replay"]["startup_replayed"] > 0
+            assert metrics["queue"]["stats"]["cache_hits"] > 0
+            router.close()
+        finally:
+            if not a_dead:
+                proc_a.kill()
+            if revived is not None:
+                self._stop(*revived)
+            self._stop(proc_b, addr_b)
+
+    def test_journal_replay_keeps_prekill_results_out_of_resimulation(
+            self, tmp_path):
+        proc_a, addr_a, proc_b, addr_b = self._fleet(tmp_path)
+        a_dead = False
+        router = ShardRouter([addr_a, addr_b], token=TOKEN,
+                             retry=RetryPolicy(attempts=2, base=0.05),
+                             probe_base=0.2, probe_cap=1.0)
+        try:
+            first = router.run_jobs(GRID_A)
+            assert [r.to_dict() for r in first] == \
+                [r.to_dict() for r in expected_grid_a()]
+            with ServiceClient(addr_b, timeout=10.0, token=TOKEN) as client:
+                executed_before = \
+                    client.metrics()["queue"]["stats"]["executed"]
+
+            proc_a.send_signal(signal.SIGKILL)
+            proc_a.wait(timeout=15)
+            a_dead = True
+
+            # Survivor B notices the death by failed heartbeat and
+            # inherits A's journal segment.
+            with ServiceClient(addr_b, timeout=10.0, token=TOKEN) as client:
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    replay = client.metrics()["replay"]
+                    if replay["peers_replayed"] >= 1:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("survivor never replayed the dead journal")
+            assert replay["keys_seeded"] > 0
+
+            # Re-running the grid costs zero simulations: B's own work
+            # plus the replayed segment cover the whole key space.
+            rerun = router.run_jobs(GRID_A)
+            assert [r.to_dict() for r in rerun] == \
+                [r.to_dict() for r in expected_grid_a()]
+            with ServiceClient(addr_b, timeout=10.0, token=TOKEN) as client:
+                executed_after = \
+                    client.metrics()["queue"]["stats"]["executed"]
+            assert executed_after == executed_before, \
+                "journaled pre-kill results were re-simulated"
+            router.close()
+        finally:
+            if not a_dead:
+                proc_a.kill()
+            self._stop(proc_b, addr_b)

@@ -1,0 +1,142 @@
+"""Property tests: the membership CRDT behind self-healing gossip.
+
+:class:`~repro.engine.cluster.MembershipView` is an eventually-consistent
+state CRDT: merging is commutative, associative and idempotent, versions
+``(epoch, beat)`` only move forward, and ties break toward ``down`` (a
+death claim can only be outranked by a strictly newer heartbeat, never
+argued away at the same version).  Those four algebraic facts are *why*
+gossip converges regardless of delivery order, duplication or loss —
+so Hypothesis drives randomized claim sequences through every merge
+order and asserts the algebra directly, plus the convergence and
+monotonicity corollaries the ISSUE names (monotone epochs, no
+oscillation once claims stop).
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cluster import MembershipView, MemberState, probe_backoff
+
+ADDRESSES = [f"tcp://10.0.0.{n}:7100" for n in range(4)]
+
+_states = st.builds(
+    MemberState,
+    address=st.sampled_from(ADDRESSES),
+    epoch=st.integers(min_value=0, max_value=4),
+    beat=st.integers(min_value=0, max_value=6),
+    status=st.sampled_from(["up", "down"]),
+)
+
+_claims = st.lists(_states, min_size=0, max_size=12)
+
+
+def _view(claims) -> MembershipView:
+    view = MembershipView()
+    for claim in claims:
+        view.observe(claim)
+    return view
+
+
+@given(a=_claims, b=_claims)
+@settings(max_examples=80)
+def test_merge_is_commutative(a, b):
+    left = _view(a)
+    left.merge(_view(b))
+    right = _view(b)
+    right.merge(_view(a))
+    assert left == right
+
+
+@given(a=_claims, b=_claims, c=_claims)
+@settings(max_examples=60)
+def test_merge_is_associative(a, b, c):
+    ab_then_c = _view(a)
+    ab_then_c.merge(_view(b))
+    ab_then_c.merge(_view(c))
+    bc = _view(b)
+    bc.merge(_view(c))
+    a_then_bc = _view(a)
+    a_then_bc.merge(bc)
+    assert ab_then_c == a_then_bc
+
+
+@given(a=_claims, b=_claims)
+@settings(max_examples=80)
+def test_merge_is_idempotent(a, b):
+    once = _view(a)
+    once.merge(_view(b))
+    twice = _view(a)
+    other = _view(b)
+    twice.merge(other)
+    changed_again = twice.merge(other)
+    assert changed_again == 0
+    assert once == twice
+
+
+@given(claims=_claims)
+@settings(max_examples=80)
+def test_observed_versions_are_monotone(claims):
+    # A member's version never moves backwards, whatever claim order
+    # arrives — the "monotone epochs" half of the convergence bar.
+    view = MembershipView()
+    floors = {}
+    for claim in claims:
+        view.observe(claim)
+        state = view.get(claim.address)
+        assert state.version >= floors.get(claim.address, (0, 0))
+        floors[claim.address] = state.version
+
+
+@given(claims=_claims)
+@settings(max_examples=40)
+def test_all_delivery_orders_converge_identically(claims):
+    # Convergence: any gossip topology is some sequence of pairwise
+    # merges, so every *order* of the same claim set must produce the
+    # same view — and re-gossiping it afterwards must change nothing
+    # (no oscillation once claims stop).
+    views = []
+    for order in itertools.islice(itertools.permutations(claims), 6):
+        views.append(_view(order))
+    for view in views[1:]:
+        assert view == views[0]
+    if views:
+        assert views[0].merge(views[-1]) == 0
+
+
+@given(state=_states)
+@settings(max_examples=60)
+def test_down_wins_version_ties(state):
+    down_twin = MemberState(state.address, state.epoch, state.beat, "down")
+    view = _view([state])
+    view.merge(_view([down_twin]))
+    assert view.get(state.address).status == "down"
+    # ...and only a strictly newer heartbeat revives it.
+    revived = MemberState(state.address, state.epoch, state.beat + 1, "up")
+    view.observe(revived)
+    assert view.get(state.address).status == "up"
+
+
+@given(raw=st.dictionaries(st.text(max_size=8),
+                           st.one_of(st.none(), st.integers(),
+                                     st.text(max_size=8)),
+                           max_size=5))
+@settings(max_examples=60)
+def test_malformed_wire_rows_never_raise(raw):
+    # Gossip payloads cross process boundaries; junk rows are dropped,
+    # not raised (a malformed peer must not crash the membership plane).
+    state = MemberState.from_dict(raw)
+    if state is not None:
+        assert state.status in ("up", "down")
+    view = MembershipView()
+    view.merge({"members": [raw]})
+
+
+@given(failures=st.integers(min_value=0, max_value=64))
+@settings(max_examples=60)
+def test_probe_backoff_is_monotone_and_capped(failures):
+    assert probe_backoff(failures) <= probe_backoff(failures + 1) or \
+        probe_backoff(failures) == probe_backoff(failures + 1)
+    assert probe_backoff(failures) <= 30.0
+    assert probe_backoff(0) == 0.5

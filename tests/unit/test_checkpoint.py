@@ -9,6 +9,7 @@ import textwrap
 
 import pytest
 
+from repro.engine import faults
 from repro.engine import job as job_mod
 from repro.engine.api import Engine
 from repro.engine.cache import ResultCache
@@ -18,6 +19,7 @@ from repro.engine.checkpoint import (
     CampaignJournal,
     JournalError,
     default_checkpoint_dir,
+    read_journal_snapshot,
 )
 from repro.engine.executors import PoolExecutor, SerialExecutor
 from repro.engine.job import SimJob, execute_job
@@ -280,3 +282,87 @@ class TestKillResume:
         assert {k: r.to_dict() for k, r in resumed.results_by_key.items()} \
             == golden
         assert journal_payload(path) == golden
+
+
+# ---------------------------------------------------------------------------
+# Meta records and lock-free snapshot reads (the failover-replay substrate).
+# ---------------------------------------------------------------------------
+
+class TestMetaAndSnapshot:
+    @pytest.fixture(autouse=True)
+    def clean_fault_state(self):
+        faults.reset()
+        yield
+        faults.install_plan(None, export_env=True)
+        faults.reset()
+
+    @pytest.fixture()
+    def service_journal(self, tmp_path):
+        """A journal shaped like a shard's: header, meta, two results."""
+        path = tmp_path / "shard.journal"
+        journal = CampaignJournal(path)
+        journal.open(SPEC.header())
+        journal.record_meta({"kind": "membership",
+                             "address": "tcp://127.0.0.1:7101", "epoch": 3})
+        for workload in ("gzip", "crafty"):
+            job = SimJob.make(workload, "lvp", **TINY)
+            journal.record(job, execute_job(job))
+        journal.close()
+        return path
+
+    def test_meta_records_round_trip_without_counting_as_jobs(
+            self, service_journal):
+        journal = CampaignJournal(service_journal)
+        assert journal.meta == [{"kind": "membership",
+                                 "address": "tcp://127.0.0.1:7101",
+                                 "epoch": 3}]
+        assert journal.done == 2
+        assert journal.corrupt_lines == 0
+
+    def test_snapshot_matches_loader_and_counts_duplicates(
+            self, service_journal):
+        job = SimJob.make("gzip", "lvp", **TINY)
+        with CampaignJournal(service_journal) as journal:
+            journal.open(SPEC.header())
+            journal.record(job, execute_job(job))  # duplicate key
+        snapshot = read_journal_snapshot(service_journal)
+        assert snapshot["header"].key == SPEC.campaign_key()
+        assert snapshot["meta"][0]["epoch"] == 3
+        assert len(snapshot["entries"]) == 2     # keys dedupe...
+        assert snapshot["records"] == 3          # ...records count raw lines
+        assert snapshot["corrupt"] == 0
+        loaded = CampaignJournal(service_journal)
+        assert {k: r.to_dict() for k, r in snapshot["entries"].items()} \
+            == {k: r.to_dict() for k, r in loaded.entries.items()}
+
+    def test_snapshot_never_takes_the_writer_lock(self, service_journal):
+        writer = CampaignJournal(service_journal)
+        writer.open(SPEC.header())  # holds the flock
+        try:
+            snapshot = read_journal_snapshot(service_journal)
+            assert len(snapshot["entries"]) == 2
+        finally:
+            writer.close()
+
+    def test_snapshot_tolerates_torn_tail_and_junk(self, service_journal):
+        with open(service_journal, "ab") as fh:
+            fh.write(b"not json at all\n")
+            fh.write(b'{"key": "half-wri')
+        snapshot = read_journal_snapshot(service_journal)
+        assert len(snapshot["entries"]) == 2
+        assert snapshot["corrupt"] == 2
+
+    def test_snapshot_of_missing_file_is_empty_not_fatal(self, tmp_path):
+        snapshot = read_journal_snapshot(tmp_path / "never-existed.journal")
+        assert snapshot["entries"] == {}
+        assert snapshot["corrupt"] == 1
+
+    def test_replay_torn_fault_halves_in_memory_only(self, service_journal):
+        before = service_journal.read_bytes()
+        faults.install_plan("journal.replay:torn@1", seed=0)
+        torn = read_journal_snapshot(service_journal)
+        faults.install_plan(None)
+        assert len(torn["entries"]) < 2
+        # The on-disk file is untouched: its owner may come back for it.
+        assert service_journal.read_bytes() == before
+        assert len(read_journal_snapshot(service_journal)["entries"]) == 2
